@@ -1,0 +1,92 @@
+"""EXP-F10: regenerate Figure 10 (the QPI-bandwidth-scaling emulator).
+
+Paper shapes asserted here:
+
+* in most cases speedup and utilization are positively correlated with the
+  available bandwidth;
+* the host-fed applications (SPEC-DMR, COOR-LU) show a *linear* speedup
+  correlation;
+* SPEC-BFS is the cautionary tale: "pipeline utilization scales linearly
+  while speedup degrades with increasing bandwidth" — speculation floods
+  the pipelines with tasks that get squashed or dropped;
+* utilization rates rise with bandwidth for every benchmark, showing the
+  abundant fine-grained pipeline parallelism of Section 6.3's last point.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_figure10
+from repro.eval.reporting import format_figure10
+from repro.eval.workloads import APP_NAMES
+
+BANDWIDTHS = (1.0, 2.0, 4.0, 8.0)
+_RESULT_CACHE = {}
+
+
+def _figure10():
+    if "r" not in _RESULT_CACHE:
+        _RESULT_CACHE["r"] = run_figure10(
+            scale=1.0, bandwidth_scales=BANDWIDTHS
+        )
+    return _RESULT_CACHE["r"]
+
+
+def test_figure10_all_series(benchmark, capsys):
+    result = benchmark.pedantic(_figure10, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_figure10(result))
+    assert set(result) == set(APP_NAMES)
+    for series in result.values():
+        assert len(series.points) == len(BANDWIDTHS)
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_figure10_utilization_rises_with_bandwidth(benchmark, app):
+    series = benchmark.pedantic(
+        lambda: _figure10()[app], rounds=1, iterations=1
+    )
+    utils = series.utilizations()
+    assert utils[-1] >= utils[0] * 0.99, (
+        f"{app}: utilization fell from {utils[0]:.3f} to {utils[-1]:.3f}"
+    )
+
+
+@pytest.mark.parametrize("app", ("SPEC-DMR", "COOR-LU"))
+def test_figure10_host_fed_apps_scale_linearly(benchmark, app):
+    """DMR and LU tasks come from the host, so speedup tracks bandwidth."""
+    series = benchmark.pedantic(
+        lambda: _figure10()[app], rounds=1, iterations=1
+    )
+    speedups = series.speedups()
+    # Monotone and roughly proportional: 8x bandwidth gives >= 4x speedup.
+    assert all(b >= a * 0.95 for a, b in zip(speedups, speedups[1:]))
+    assert speedups[-1] >= 4.0
+
+
+def test_figure10_spec_bfs_flooding_anomaly(benchmark):
+    """SPEC-BFS: utilization keeps climbing while speedup saturates."""
+    series = benchmark.pedantic(
+        lambda: _figure10()["SPEC-BFS"], rounds=1, iterations=1
+    )
+    utils = series.utilizations()
+    speedups = series.speedups()
+    # Utilization clearly grows across the sweep ...
+    assert utils[-1] > utils[0] * 1.1
+    # ... while the speedup stays within a whisker of flat (the pipelines
+    # fill with speculative tasks that are squashed or dropped).
+    assert max(speedups) < 1.5
+    util_gain = utils[-1] / utils[0]
+    speedup_gain = speedups[-1] / speedups[0]
+    assert util_gain > speedup_gain
+
+
+@pytest.mark.parametrize("app", ("SPEC-SSSP", "SPEC-MST", "COOR-BFS"))
+def test_figure10_speedup_positively_correlated(benchmark, app):
+    series = benchmark.pedantic(
+        lambda: _figure10()[app], rounds=1, iterations=1
+    )
+    speedups = series.speedups()
+    assert speedups[-1] >= 1.05, (
+        f"{app}: no bandwidth benefit at all ({speedups})"
+    )

@@ -1,0 +1,59 @@
+"""EXP-F9: regenerate Figure 9 (accelerator vs Xeon software).
+
+Paper: accelerators attain 2.3-5.9x over sequential one-core
+implementations and 0.5-1.9x over the parallel 10-core/20-thread ones, for
+all six benchmarks, with the memory subsystem as the bottleneck.
+"""
+
+import pytest
+
+from repro.eval.experiments import PAPER_FIGURE9_BANDS, run_figure9
+from repro.eval.reporting import format_figure9
+from repro.eval.workloads import APP_NAMES
+
+_RESULT_CACHE = {}
+
+
+def _figure9():
+    if "r" not in _RESULT_CACHE:
+        _RESULT_CACHE["r"] = run_figure9(scale=1.0)
+    return _RESULT_CACHE["r"]
+
+
+def test_figure9_all_apps(benchmark, capsys):
+    result = benchmark.pedantic(_figure9, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_figure9(result))
+    assert set(result.rows) == set(APP_NAMES)
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_figure9_speedup_vs_one_core_in_band(benchmark, app):
+    lo, hi = PAPER_FIGURE9_BANDS["vs_1core"]
+    row = benchmark.pedantic(
+        lambda: _figure9().rows[app], rounds=1, iterations=1
+    )
+    assert lo <= row.speedup_vs_1core <= hi, (
+        f"{app}: {row.speedup_vs_1core:.2f}x vs 1 core outside "
+        f"the paper band {lo}-{hi}x"
+    )
+
+
+@pytest.mark.parametrize("app", APP_NAMES)
+def test_figure9_speedup_vs_ten_core_in_band(benchmark, app):
+    lo, hi = PAPER_FIGURE9_BANDS["vs_10core"]
+    row = benchmark.pedantic(
+        lambda: _figure9().rows[app], rounds=1, iterations=1
+    )
+    assert lo <= row.speedup_vs_10core <= hi, (
+        f"{app}: {row.speedup_vs_10core:.2f}x vs 10 cores outside "
+        f"the paper band {lo}-{hi}x"
+    )
+
+
+def test_figure9_ten_core_baseline_beats_one_core(benchmark):
+    """Sanity: the parallel baseline is faster than sequential everywhere."""
+    result = benchmark.pedantic(_figure9, rounds=1, iterations=1)
+    for app, row in result.rows.items():
+        assert row.parallel_seconds < row.sequential_seconds, app

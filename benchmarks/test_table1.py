@@ -1,0 +1,36 @@
+"""EXP-T1: regenerate Table 1 (OpenCL vs SPEC-BFS vs COOR-BFS).
+
+Paper: OpenCL 124.1 s, SPEC-BFS 0.47 s, COOR-BFS 0.64 s on the USA road
+network — i.e. the AOCL host-coordinated schedule is ~264x slower than the
+framework's speculative accelerator, ~194x slower than the coordinative
+one, and SPEC-BFS beats COOR-BFS.  The shape asserted here: both ratios are
+two or three orders of magnitude, and the SPEC < COOR ordering holds.
+"""
+
+from repro.eval.experiments import PAPER_TABLE1, run_table1
+from repro.eval.reporting import format_table1
+
+_RESULT_CACHE = {}
+
+
+def _table1():
+    if "r" not in _RESULT_CACHE:
+        _RESULT_CACHE["r"] = run_table1()
+    return _RESULT_CACHE["r"]
+
+
+def test_table1(benchmark, capsys):
+    result = benchmark.pedantic(_table1, rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(format_table1(result))
+
+    # The host-coordinated OpenCL schedule loses by orders of magnitude.
+    assert result.opencl_vs_spec > 50.0
+    assert result.opencl_vs_coor > 50.0
+    assert result.opencl_vs_spec < 5000.0  # same regime, not absurdity
+    # SPEC-BFS beats COOR-BFS, as in the paper (0.47 vs 0.64).
+    assert result.spec_bfs_seconds < result.coor_bfs_seconds
+    # And the paper's own ratios bracket ours within ~5x.
+    paper_ratio = PAPER_TABLE1["OpenCL"] / PAPER_TABLE1["SPEC-BFS"]
+    assert paper_ratio / 5 < result.opencl_vs_spec < paper_ratio * 5

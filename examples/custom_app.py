@@ -1,0 +1,144 @@
+"""Writing a *new* irregular application against the public API.
+
+The paper's framework is problem-independent: any irregular application
+expressible as well-ordered task sets plus ECA rules can be synthesized.
+This example builds one from scratch — connected components by minimum-
+label propagation — and runs it through the same flow as the built-in
+benchmarks: software debug runtime, BDFG checks, and the cycle-level
+accelerator simulation, all verified against an oracle.
+
+Run:  python examples/custom_app.py
+"""
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.eca import compile_rule
+from repro.core.kernel import (
+    AllocRule,
+    Alu,
+    Enqueue,
+    Expand,
+    Guard,
+    Kernel,
+    Load,
+    Rendezvous,
+    Store,
+)
+from repro.core.runtime import AggressiveRuntime
+from repro.core.spec import ApplicationSpec, make_task_sets
+from repro.core.state import MemorySpace
+from repro.errors import SimulationError
+from repro.ir import check_graph, lower_spec
+from repro.sim import simulate_app
+from repro.substrates.graphs import random_graph
+from repro.substrates.graphs.algorithms import connected_components
+from repro.substrates.graphs.csr import CSRGraph
+
+# The rule: squash a propagation that can no longer improve its vertex —
+# same speculative pattern as SPEC-SSSP, with an immediate (optimistic)
+# rendezvous because the commit below is a combining-min store.
+CC_RULE = """
+rule label_conflict(my_index, addr, mylabel):
+    on reach propagate.setLabel
+        if event.addr == addr and event.value <= mylabel
+        do return false
+    otherwise immediately return true
+"""
+
+
+def connected_components_spec(graph: CSRGraph) -> ApplicationSpec:
+    """Speculative min-label propagation over ``graph``."""
+    oracle = connected_components(graph)
+
+    def make_state() -> MemorySpace:
+        state = MemorySpace()
+        # Labels start at "unlabelled"; every vertex then proposes its own
+        # id, and the component minimum percolates through the commits.
+        sentinel = np.iinfo(np.int64).max
+        state.add_array(
+            "comp", np.full(graph.num_vertices, sentinel, dtype=np.int64),
+            element_bytes=8,
+        )
+        state.add_object("graph", graph)
+        return state
+
+    def neighbors(env: dict[str, Any], state: MemorySpace):
+        g: CSRGraph = state.object("graph")
+        return [{"w": int(u)} for u in g.neighbors(env["vertex"])]
+
+    def traffic(env: dict[str, Any], state: MemorySpace) -> int:
+        g: CSRGraph = state.object("graph")
+        return 16 + 8 * g.degree(env["vertex"])
+
+    kernel = Kernel("propagate", [
+        Alu("__addr__", lambda env: env["vertex"] * 8, reads=("vertex",)),
+        AllocRule("label_conflict", lambda env: {
+            "addr": env["__addr__"], "mylabel": env["label"]}),
+        Load("cur", "comp", lambda env: env["vertex"]),
+        Guard(lambda env: env["label"] < env["cur"]),
+        Rendezvous("commit"),
+        Store("comp", lambda env: env["vertex"], lambda env: env["label"],
+              label="setLabel", combine=min, dst="old"),
+        Expand(neighbors, traffic=traffic),
+        Enqueue("propagate",
+                lambda env: {"vertex": env["w"], "label": env["label"]},
+                when=lambda env: env["label"] < env["old"]),
+    ])
+
+    def verify(state: MemorySpace) -> None:
+        comp = np.asarray(state.region("comp").storage)
+        # Labels are component-minimum vertex ids; compare partitions.
+        for vertex in range(graph.num_vertices):
+            same = comp == comp[vertex]
+            oracle_same = oracle == oracle[vertex]
+            if not np.array_equal(same, oracle_same):
+                raise SimulationError(
+                    f"component of vertex {vertex} is wrong"
+                )
+
+    def initial_tasks(state: MemorySpace):
+        # Every vertex proposes its own id to its neighbours.
+        return [
+            ("propagate", {"vertex": v, "label": v})
+            for v in range(graph.num_vertices)
+        ]
+
+    return ApplicationSpec(
+        name="CUSTOM-CC",
+        mode="speculative",
+        task_sets=make_task_sets([
+            ("propagate", "for-each", ("vertex", "label")),
+        ]),
+        kernels={"propagate": kernel},
+        rules={"label_conflict": compile_rule(CC_RULE)},
+        make_state=make_state,
+        initial_tasks=initial_tasks,
+        verify=verify,
+        description="connected components by speculative label propagation",
+    )
+
+
+def main() -> None:
+    graph = random_graph(150, 260, seed=3, connected=False)
+    spec = connected_components_spec(graph)
+    print(f"custom app: {spec.name} on {graph.num_vertices} vertices")
+
+    stats = AggressiveRuntime(spec, workers=8).run()
+    print(f"debug runtime: {stats.tasks_executed} tasks, "
+          f"{stats.tasks_squashed} squashed — verified")
+
+    ir = lower_spec(spec)
+    check_graph(ir)
+    print(f"BDFG checks pass ({len(ir.actors)} actors)")
+
+    result = simulate_app(spec)
+    print(f"accelerator: {result.cycles} cycles, utilization "
+          f"{result.utilization * 100:.1f}%, squash "
+          f"{result.squash_fraction * 100:.1f}% — verified")
+    print("a brand-new irregular application, no hardware knowledge needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Figure 2: synthesized (barrier) vs handcrafted (dataflow) schedules.
+
+Replays the motivational example of Section 2 on Figure 2(a)'s five-vertex
+graph: the AOCL-style schedule alternates Visit and Update phases with
+barriers and host round trips between them, while the framework's pipeline
+overlaps them dataflow-style, forwarding pipeline state to avoid the
+vertex-4 collision.  The script prints both schedule diagrams plus the
+measured cycle counts.
+
+Run:  python examples/schedule_comparison.py
+"""
+
+from repro.apps.bfs import spec_bfs
+from repro.eval.platforms import HARP
+from repro.hls_baseline.opencl_model import OpenClBfsModel
+from repro.sim.accelerator import AcceleratorSim, SimConfig
+from repro.sim.trace import ScheduleTracer
+from repro.substrates.graphs import CSRGraph
+
+# Figure 2(a): vertex 1 is the root; 1->2, 1->3, 2->4, 3->4, 4->5
+# (0-indexed here: 0->1, 0->2, 1->3, 2->3, 3->4).
+FIGURE2_GRAPH = CSRGraph(5, [(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)],
+                         directed=False)
+
+
+def synthesized_schedule() -> list[str]:
+    """The AOCL schedule: kernel phases separated by barriers."""
+    diagram = []
+    levels = [[0], [1, 2], [3], [4]]
+    for level, frontier in enumerate(levels):
+        names = ", ".join(f"v{v}" for v in frontier)
+        diagram.append(f"t{2 * level}:   kernel1 visits  [{names}]")
+        diagram.append(f"t{2 * level + 1}:   kernel2 updates [{names}]  "
+                       "-- barrier + host round trip --")
+    return diagram
+
+
+def main() -> None:
+    print("Figure 2(a) graph: 5 vertices, root v0")
+    print()
+    print("Synthesized (OpenCL) schedule — phases with barriers:")
+    for line in synthesized_schedule():
+        print(f"  {line}")
+    opencl = OpenClBfsModel()
+    print(f"  model: {opencl.level_count(FIGURE2_GRAPH, 0)} levels x "
+          f"2 kernel launches = "
+          f"{opencl.seconds(FIGURE2_GRAPH, 0) * 1e6:.0f} us "
+          "(launch overhead dominates)")
+    print()
+
+    print("Handcrafted-style (framework) schedule — dataflow pipeline:")
+    spec = spec_bfs(FIGURE2_GRAPH, root=0)
+    tracer = ScheduleTracer(max_cycles=1000)
+    sim = AcceleratorSim(spec, platform=HARP, config=SimConfig(),
+                         tracer=tracer)
+    result = sim.run()
+    active_stages = [
+        name for name in sorted(tracer.activity)
+        if "[0]" in name  # first replica of each pipeline is enough
+    ]
+    print(tracer.timeline(width=64, stages=active_stages))
+    print(f"  total: {result.cycles} cycles = "
+          f"{result.seconds * 1e9:.0f} ns — no barriers, stages overlap; "
+          "the v3 collision is squashed in-pipeline "
+          f"({result.stats.squashes} squash, "
+          f"{result.stats.guard_drops} guard drops)")
+    print()
+    ratio = opencl.seconds(FIGURE2_GRAPH, 0) / result.seconds
+    print(f"even on 5 vertices the dataflow schedule wins {ratio:.0f}x — "
+          "Table 1 is this gap at road-network scale.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Reproduction of "Aggressive Pipelining of Irregular Applications on
+Reconfigurable Hardware" (Li et al., ISCA 2017).
+
+Public API tour:
+
+* :mod:`repro.core` — the abstraction: well-ordered task sets, ECA rules,
+  kernels, and the software runtimes (sequential / aggressive / threaded).
+* :mod:`repro.apps` — the paper's six benchmarks plus two extensions;
+  ``build_app(name, ...)`` is the front door.
+* :mod:`repro.sim` — the cycle-level accelerator simulator;
+  ``simulate_app(spec)`` runs and verifies a specification.
+* :mod:`repro.synthesis` — templates, datapaths, resources, tuning, DSE,
+  and SystemVerilog emission.
+* :mod:`repro.eval` — platforms, workloads, and the experiment harness
+  that regenerates every table and figure of the paper's evaluation.
+
+Command line: ``python -m repro --help``.
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "Zhaoshi Li, Leibo Liu, Yangdong Deng, Shouyi Yin, Yao Wang, "
+    "Shaojun Wei. Aggressive Pipelining of Irregular Applications on "
+    "Reconfigurable Hardware. ISCA 2017. doi:10.1145/3079856.3080228"
+)

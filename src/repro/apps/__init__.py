@@ -1,0 +1,5 @@
+"""The paper's six benchmarks, expressed as application specifications."""
+
+from repro.apps.registry import APP_BUILDERS, build_app
+
+__all__ = ["APP_BUILDERS", "build_app"]

@@ -1,0 +1,182 @@
+"""Breadth-first search: SPEC-BFS and COOR-BFS (Sections 2, 4.2, 6.1).
+
+Both variants label each vertex with its BFS level from a root.  The
+*speculative* variant (after Kulkarni et al.'s optimistic parallelism)
+issues Update tasks optimistically and squashes an update when a commit to
+the same vertex makes it useless.  The *coordinative* variant (after
+Leiserson & Schardl) relies on the observation that all Visits carrying the
+minimum level can execute simultaneously — expressed here by priority-
+indexing the visit task set on its ``level`` field, so same-level tasks tie
+in the well-order and the gate rule releases a whole level at once, with no
+barriers.
+
+Both commits are *combining-min* stores — the fused compare-and-store unit
+handcrafted BFS accelerators place at the commit stage (e.g. Umuroglu et
+al. compare in-pipeline addresses against ready-to-commit BRAM contents).
+A combining commit makes the level array monotone non-increasing, so any
+release order the rule engines produce converges to the exact BFS levels;
+the rules' job is purely to squash wasted work early, which is how the
+handcrafted pipelines of Figure 2(b) behave.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.eca import compile_rule
+from repro.core.kernel import (
+    AllocRule,
+    Alu,
+    Enqueue,
+    Expand,
+    Guard,
+    Kernel,
+    Load,
+    Rendezvous,
+    Store,
+)
+from repro.core.spec import ApplicationSpec, make_task_sets
+from repro.core.state import MemorySpace
+from repro.errors import SimulationError
+from repro.substrates.graphs.algorithms import INF, bfs_levels
+from repro.substrates.graphs.csr import CSRGraph
+
+SPEC_BFS_RULE = """
+rule update_conflict(my_index, addr, mylevel):
+    on reach update.setLevel
+        if event.addr == addr and event.value <= mylevel
+        do return false
+    otherwise immediately return true
+"""
+
+COOR_BFS_RULE = """
+rule level_gate():
+    otherwise return true
+"""
+
+
+def _expand_neighbors(env: dict[str, Any], state: MemorySpace) -> list[dict]:
+    graph: CSRGraph = state.object("graph")
+    return [{"u": int(u)} for u in graph.neighbors(env["vertex"])]
+
+
+def _neighbor_traffic(env: dict[str, Any], state: MemorySpace) -> int:
+    graph: CSRGraph = state.object("graph")
+    # One indptr pair plus the neighbour ids, 8 bytes each.
+    return 16 + 8 * graph.degree(env["vertex"])
+
+
+def _make_level_state(graph: CSRGraph, root: int):
+    def make_state() -> MemorySpace:
+        state = MemorySpace()
+        level = np.full(graph.num_vertices, INF, dtype=np.int64)
+        level[root] = 0
+        state.add_array("level", level, element_bytes=8)
+        state.add_object("graph", graph)
+        return state
+
+    return make_state
+
+
+def _verify_against(graph: CSRGraph, root: int):
+    expected = bfs_levels(graph, root)
+
+    def verify(state: MemorySpace) -> None:
+        got = np.asarray(state.region("level").storage)
+        if not np.array_equal(got, expected):
+            bad = int(np.flatnonzero(got != expected)[0])
+            raise SimulationError(
+                f"BFS levels wrong: vertex {bad} got {got[bad]}, "
+                f"expected {expected[bad]}"
+            )
+
+    return verify
+
+
+def spec_bfs(graph: CSRGraph, root: int = 0) -> ApplicationSpec:
+    """SPEC-BFS: two task sets (visit for-each, update for-all nested).
+
+    The visit stage expands a vertex's neighbours into update tasks; the
+    update stage optimistically reads the level, commits a combining-min
+    write behind a speculative rendezvous, and activates the next-level
+    visit when its commit improved the vertex.  The rule squashes an update
+    as soon as any commit makes it useless — the forwarding/squashing
+    schedule of Figure 2(b)'s handcrafted pipeline.
+    """
+
+    visit_kernel = Kernel("visit", [
+        Expand(_expand_neighbors, traffic=_neighbor_traffic),
+        Enqueue("update", lambda env: {"u": env["u"], "level": env["level"]}),
+    ])
+
+    update_kernel = Kernel("update", [
+        Alu("__addr__", lambda env: env["u"] * 8, reads=("u",)),
+        AllocRule(
+            "update_conflict",
+            lambda env: {"addr": env["__addr__"], "mylevel": env["level"]},
+        ),
+        Load("cur", "level", lambda env: env["u"]),
+        Guard(lambda env: env["level"] < env["cur"]),
+        Rendezvous("commit"),
+        Store("level", lambda env: env["u"], lambda env: env["level"],
+              label="setLevel", combine=min, dst="old"),
+        Enqueue("visit",
+                lambda env: {"vertex": env["u"], "level": env["level"] + 1},
+                when=lambda env: env["level"] < env["old"]),
+    ])
+
+    return ApplicationSpec(
+        name="SPEC-BFS",
+        mode="speculative",
+        task_sets=make_task_sets([
+            ("visit", "for-each", ("vertex", "level")),
+            ("update", "for-all", ("u", "level")),
+        ]),
+        kernels={"visit": visit_kernel, "update": update_kernel},
+        rules={"update_conflict": compile_rule(SPEC_BFS_RULE)},
+        make_state=_make_level_state(graph, root),
+        initial_tasks=lambda state: [("visit", {"vertex": root, "level": 1})],
+        verify=_verify_against(graph, root),
+        description="speculative BFS with setLevel conflict squashing",
+    )
+
+
+def coor_bfs(graph: CSRGraph, root: int = 0) -> ApplicationSpec:
+    """COOR-BFS: one visit task set, priority-indexed by level.
+
+    A visit waits at a gate rendezvous until its level ties the minimum
+    allocated gate lane; the whole level then proceeds together (the runtime
+    scheduler of Figure 3(b), self-scheduled without barriers).  Same-level
+    visits to a common neighbour race benignly: the combining commit keeps
+    the level array monotone.
+    """
+
+    visit_kernel = Kernel("visit", [
+        AllocRule("level_gate", lambda env: {}),
+        Rendezvous("gate"),
+        Expand(_expand_neighbors, traffic=_neighbor_traffic),
+        Load("cur", "level", lambda env: env["u"]),
+        Guard(lambda env: env["level"] < env["cur"]),
+        Store("level", lambda env: env["u"], lambda env: env["level"],
+              label="setLevel", combine=min, dst="old"),
+        Enqueue("visit",
+                lambda env: {"vertex": env["u"], "level": env["level"] + 1},
+                when=lambda env: env["level"] < env["old"]),
+    ])
+
+    return ApplicationSpec(
+        name="COOR-BFS",
+        mode="coordinative",
+        task_sets=make_task_sets([
+            ("visit", "for-each", ("vertex", "level")),
+        ]),
+        kernels={"visit": visit_kernel},
+        rules={"level_gate": compile_rule(COOR_BFS_RULE)},
+        make_state=_make_level_state(graph, root),
+        initial_tasks=lambda state: [("visit", {"vertex": root, "level": 1})],
+        verify=_verify_against(graph, root),
+        priority_fields={"visit": "level"},
+        description="coordinative level-synchronous BFS without barriers",
+    )

@@ -1,0 +1,118 @@
+"""SPEC-CC: speculative connected components (extension benchmark).
+
+Not part of the paper's six benchmarks, but the framework is problem-
+independent (Section 1); this app exercises the same speculative pattern as
+SPEC-SSSP on a different invariant: minimum-label propagation.  Every
+vertex proposes its own id; a propagation task commits a combining-min
+write to its vertex's label and, when it improved it, pushes the label to
+the neighbours.  The rule squashes propagations that a commit has already
+made useless.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.eca import compile_rule
+from repro.core.kernel import (
+    AllocRule,
+    Alu,
+    Enqueue,
+    Expand,
+    Guard,
+    Kernel,
+    Load,
+    Rendezvous,
+    Store,
+)
+from repro.core.spec import ApplicationSpec, make_task_sets
+from repro.core.state import MemorySpace
+from repro.errors import SimulationError
+from repro.substrates.graphs.algorithms import connected_components
+from repro.substrates.graphs.csr import CSRGraph
+
+UNLABELLED = np.iinfo(np.int64).max
+
+SPEC_CC_RULE = """
+rule label_conflict(my_index, addr, mylabel):
+    on reach propagate.setLabel
+        if event.addr == addr and event.value <= mylabel
+        do return false
+    otherwise immediately return true
+"""
+
+
+def _expand_neighbors(env: dict[str, Any], state: MemorySpace) -> list[dict]:
+    graph: CSRGraph = state.object("graph")
+    return [{"w": int(u)} for u in graph.neighbors(env["vertex"])]
+
+
+def _neighbor_traffic(env: dict[str, Any], state: MemorySpace) -> int:
+    graph: CSRGraph = state.object("graph")
+    return 16 + 8 * graph.degree(env["vertex"])
+
+
+def spec_cc(graph: CSRGraph) -> ApplicationSpec:
+    """Build the SPEC-CC specification for ``graph``."""
+    oracle = connected_components(graph)
+
+    def make_state() -> MemorySpace:
+        state = MemorySpace()
+        state.add_array(
+            "comp", np.full(graph.num_vertices, UNLABELLED, dtype=np.int64),
+            element_bytes=8,
+        )
+        state.add_object("graph", graph)
+        return state
+
+    def verify(state: MemorySpace) -> None:
+        comp = np.asarray(state.region("comp").storage)
+        if np.any(comp == UNLABELLED):
+            raise SimulationError("some vertices were never labelled")
+        # Same partition as the oracle, and each label is the component's
+        # minimum vertex id.
+        for vertex in range(graph.num_vertices):
+            members = np.flatnonzero(oracle == oracle[vertex])
+            expected = int(members.min())
+            if comp[vertex] != expected:
+                raise SimulationError(
+                    f"vertex {vertex}: label {comp[vertex]}, "
+                    f"expected component minimum {expected}"
+                )
+
+    propagate_kernel = Kernel("propagate", [
+        Alu("__addr__", lambda env: env["vertex"] * 8, reads=("vertex",)),
+        AllocRule("label_conflict", lambda env: {
+            "addr": env["__addr__"], "mylabel": env["label"]}),
+        Load("cur", "comp", lambda env: env["vertex"]),
+        Guard(lambda env: env["label"] < env["cur"]),
+        Rendezvous("commit"),
+        Store("comp", lambda env: env["vertex"], lambda env: env["label"],
+              label="setLabel", combine=min, dst="old"),
+        Expand(_expand_neighbors, traffic=_neighbor_traffic),
+        Enqueue("propagate",
+                lambda env: {"vertex": env["w"], "label": env["label"]},
+                when=lambda env: env["label"] < env["old"]),
+    ])
+
+    def initial_tasks(state: MemorySpace) -> list[tuple[str, dict]]:
+        return [
+            ("propagate", {"vertex": v, "label": v})
+            for v in range(graph.num_vertices)
+        ]
+
+    return ApplicationSpec(
+        name="SPEC-CC",
+        mode="speculative",
+        task_sets=make_task_sets([
+            ("propagate", "for-each", ("vertex", "label")),
+        ]),
+        kernels={"propagate": propagate_kernel},
+        rules={"label_conflict": compile_rule(SPEC_CC_RULE)},
+        make_state=make_state,
+        initial_tasks=initial_tasks,
+        verify=verify,
+        description="speculative connected components by label propagation",
+    )

@@ -1,0 +1,174 @@
+"""SPEC-DMR: speculative Delaunay mesh refinement (Section 6.1).
+
+After Kulkarni et al. [33]: bad triangles are refinement tasks; a task
+computes the cavity of its triangle's circumcenter, and two tasks conflict
+exactly when their cavities overlap.  The rule squashes a task when an
+earlier in-flight task commits an overlapping cavity; tasks whose triangle
+has been destroyed, or is no longer bad, are squashed outright ("if a bad
+triangle doesn't overlap with others anymore, its corresponding task is
+squashed").  Commit-time re-validation guards the window between cavity
+computation and rule allocation, as thread-level-speculation runtimes do.
+
+Initial bad triangles are pushed incrementally from the host processor
+(HostFeed), matching the paper's setup — this is why DMR's speedup scales
+linearly with QPI bandwidth in Figure 10.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.eca import compile_rule
+from repro.core.kernel import (
+    AllocRule,
+    Call,
+    Enqueue,
+    Expand,
+    Guard,
+    Kernel,
+    Rendezvous,
+)
+from repro.core.spec import ApplicationSpec, HostFeed, make_task_sets
+from repro.core.state import MemorySpace
+from repro.errors import SimulationError
+from repro.substrates.mesh.delaunay import Mesh, triangulate
+from repro.substrates.mesh.refinement import (
+    bad_triangles,
+    cavity_of,
+    is_bad,
+    random_points,
+    retriangulate_cavity,
+    _center_in_bounds,
+)
+
+SPEC_DMR_RULE = """
+rule cavity_conflict(my_index, my_cavity):
+    on reach refine.cavityCommit
+        if event.cavity overlaps my_cavity and event.index < my_index
+        do return false
+    otherwise immediately return true
+"""
+
+
+def _check_and_cavity(env: dict[str, Any], state: MemorySpace) -> dict[str, Any]:
+    """Load the triangle, re-test badness, and walk the cavity."""
+    mesh: Mesh = state.object("mesh")
+    tri = env["tri"]
+    min_angle = state.object("params")["min_angle"]
+    if tri not in mesh or not is_bad(mesh, tri, min_angle):
+        return {"valid": False, "cavity": (), "center": None}
+    center, cavity = cavity_of(mesh, tri)
+    if not _center_in_bounds(mesh, center):
+        # Hull-encroaching circumcenter: skipped, as in the reference
+        # refinement (a full Ruppert pass would split boundary segments).
+        return {"valid": False, "cavity": (), "center": None}
+    return {"valid": True, "cavity": tuple(cavity), "center": center}
+
+
+def _cavity_cost(env: dict[str, Any]) -> int:
+    return 12 + 6 * len(env.get("cavity", ()))
+
+
+def _cavity_traffic(env: dict[str, Any]) -> int:
+    return 96 + 96 * len(env.get("cavity", ()))
+
+
+def _commit_retriangulate(
+    env: dict[str, Any], state: MemorySpace
+) -> dict[str, Any]:
+    """Validate the cavity is still intact, then retriangulate it."""
+    mesh: Mesh = state.object("mesh")
+    min_angle = state.object("params")["min_angle"]
+    cavity = env["cavity"]
+    if any(tri not in mesh for tri in cavity):
+        return {"committed": False, "created_bad": (), "cavity": cavity}
+    created = retriangulate_cavity(mesh, env["center"], list(cavity))
+    if created is None:
+        # Degenerate insertion: drop this circumcenter (mesh untouched),
+        # recording the skip so verification accepts the leftover triangle
+        # (the sequential oracle skips these the same way).
+        state.object("params")["skipped"].add(env["tri"])
+        return {"committed": False, "created_bad": (), "cavity": cavity,
+                "degenerate": True}
+    created_bad = tuple(
+        t for t in created if is_bad(mesh, t, min_angle)
+    )
+    return {"committed": True, "created_bad": created_bad, "cavity": cavity}
+
+
+def spec_dmr(
+    n_points: int = 120,
+    seed: int = 0,
+    min_angle: float = 25.0,
+    host_batch: int = 16,
+) -> ApplicationSpec:
+    """Build the SPEC-DMR specification over a random point cloud."""
+    base_points = random_points(n_points, seed)
+
+    def make_state() -> MemorySpace:
+        state = MemorySpace()
+        state.add_object("mesh", triangulate(base_points))
+        state.add_object("params", {"min_angle": min_angle,
+                                    "skipped": set()})
+        return state
+
+    def verify(state: MemorySpace) -> None:
+        mesh: Mesh = state.object("mesh")
+        if not mesh.is_valid_triangulation():
+            raise SimulationError("refined mesh is structurally invalid")
+        # All remaining bad triangles must be skips the sequential oracle
+        # makes too: hull-encroaching circumcenters or degenerate insertions.
+        skipped = state.object("params")["skipped"]
+        for tri in bad_triangles(mesh, min_angle):
+            if tri in skipped:
+                continue
+            center, _ = cavity_of(mesh, tri)
+            if _center_in_bounds(mesh, center):
+                raise SimulationError(
+                    f"triangle {tri} is still bad and refinable"
+                )
+
+    refine_kernel = Kernel("refine", [
+        Call(_check_and_cavity, cycles=_cavity_cost, traffic=_cavity_traffic,
+             profile="geometry"),
+        Guard(lambda env: env["valid"]),
+        AllocRule("cavity_conflict",
+                  lambda env: {"my_cavity": env["cavity"]}),
+        Rendezvous("commit", abort_ops=(
+            # Conflicting cavity: retry; re-execution recomputes the cavity.
+            Enqueue("refine", lambda env: {"tri": env["tri"]}),
+        )),
+        Call(_commit_retriangulate, cycles=lambda env: 20 + 8 * len(env["cavity"]),
+             traffic=lambda env: 128 + 128 * len(env["cavity"]),
+             label="cavityCommit", profile="geometry"),
+        Guard(lambda env: env["committed"], else_ops=(
+            Enqueue("refine", lambda env: {"tri": env["tri"]},
+                    when=lambda env: not env.get("degenerate", False)),
+        )),
+        Expand(lambda env, state: [{"newtri": t} for t in env["created_bad"]]),
+        Enqueue("refine", lambda env: {"tri": env["newtri"]}),
+    ])
+
+    def host_batches(state: MemorySpace) -> Iterator[list[tuple[str, dict]]]:
+        mesh: Mesh = state.object("mesh")
+        initial = bad_triangles(mesh, min_angle)
+        for start in range(0, len(initial), host_batch):
+            yield [
+                ("refine", {"tri": tri})
+                for tri in initial[start:start + host_batch]
+            ]
+
+    return ApplicationSpec(
+        name="SPEC-DMR",
+        mode="speculative",
+        task_sets=make_task_sets([
+            ("refine", "for-each", ("tri",)),
+        ]),
+        kernels={"refine": refine_kernel},
+        rules={"cavity_conflict": compile_rule(SPEC_DMR_RULE)},
+        make_state=make_state,
+        initial_tasks=lambda state: [],
+        verify=verify,
+        host_feed=HostFeed(host_batches, bytes_per_task=8),
+        description="speculative Delaunay refinement with cavity conflicts",
+    )

@@ -1,0 +1,128 @@
+"""SPEC-MST: speculative Kruskal's minimum spanning tree (Section 6.1).
+
+Following Blelloch et al.'s deterministic-reservation Kruskal [9]: edges are
+sorted by weight and fired speculatively; an edge conflicts with a smaller
+in-flight edge when their endpoint components overlap, in which case the
+larger edge is squashed and retried.  Commits are serialized in weight order
+through the rendezvous' minimum-waiting escape; everything before the commit
+(the two component lookups, the heaviest part of Kruskal) overlaps across
+the pipeline.
+
+The task set is priority-indexed on the edge's weight-sorted rank so a
+retried edge keeps its place in the well-order.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.eca import compile_rule
+from repro.core.kernel import (
+    AllocRule,
+    Call,
+    Enqueue,
+    Guard,
+    Kernel,
+    Rendezvous,
+)
+from repro.core.spec import ApplicationSpec, make_task_sets
+from repro.core.state import MemorySpace
+from repro.errors import SimulationError
+from repro.substrates.dsu import DisjointSet
+from repro.substrates.graphs.algorithms import kruskal_mst
+from repro.substrates.graphs.csr import CSRGraph
+
+SPEC_MST_RULE = """
+rule edge_conflict(my_index, my_roots):
+    on reach mstedge.unionCommit
+        if event.roots overlaps my_roots and event.index < my_index
+        do return false
+    otherwise return true
+"""
+
+
+def _find_roots(env: dict[str, Any], state: MemorySpace) -> dict[str, Any]:
+    dsu: DisjointSet = state.object("dsu")
+    ru, rv = dsu.find(env["u"]), dsu.find(env["v"])
+    return {"ru": ru, "rv": rv, "roots": (ru, rv)}
+
+
+def _commit_union(env: dict[str, Any], state: MemorySpace) -> dict[str, Any]:
+    dsu: DisjointSet = state.object("dsu")
+    merged = dsu.union(env["u"], env["v"])
+    if merged:
+        mst_weight = state.object("mst")
+        mst_weight["weight"] += env["w"]
+        mst_weight["edges"] += 1
+    return {"merged": merged, "roots": (env["ru"], env["rv"])}
+
+
+def spec_mst(graph: CSRGraph) -> ApplicationSpec:
+    """Build the SPEC-MST specification for ``graph``.
+
+    ``graph`` is treated as undirected; each unique edge becomes one task
+    whose rank in the weight order is its well-order priority.
+    """
+    edges = graph.unique_undirected_edges()
+    _, expected_weight = kruskal_mst(graph)
+
+    def make_state() -> MemorySpace:
+        state = MemorySpace()
+        state.add_object("dsu", DisjointSet(graph.num_vertices))
+        state.add_object("mst", {"weight": 0.0, "edges": 0})
+        return state
+
+    def verify(state: MemorySpace) -> None:
+        got = state.object("mst")["weight"]
+        if abs(got - expected_weight) > 1e-9:
+            raise SimulationError(
+                f"MST weight wrong: got {got}, expected {expected_weight}"
+            )
+
+    edge_kernel = Kernel("mstedge", [
+        # Component lookups: two dependent pointer chases through the
+        # disjoint-set parent array in shared memory (~one QPI round trip).
+        Call(_find_roots, cycles=40, traffic=128),
+        # Self-loop within a component: the edge is simply rejected.
+        Guard(lambda env: env["ru"] != env["rv"]),
+        AllocRule("edge_conflict",
+                  lambda env: {"my_roots": env["roots"]}),
+        Rendezvous("commit", abort_ops=(
+            # Squash-and-retry: the edge re-enters the workset with the
+            # same rank so the weight order is preserved.
+            Enqueue("mstedge", lambda env: {
+                "u": env["u"], "v": env["v"], "w": env["w"],
+                "rank": env["rank"],
+            }),
+        )),
+        Call(_commit_union, cycles=4, traffic=32, label="unionCommit",
+             completes_task=True),
+        Guard(lambda env: env["merged"]),
+    ])
+
+    def initial_tasks(state: MemorySpace) -> list[tuple[str, dict]]:
+        return [
+            ("mstedge", {"u": u, "v": v, "w": w, "rank": rank})
+            for rank, (u, v, w) in enumerate(edges)
+        ]
+
+    return ApplicationSpec(
+        name="SPEC-MST",
+        mode="speculative",
+        task_sets=make_task_sets([
+            ("mstedge", "for-each", ("u", "v", "w", "rank")),
+        ]),
+        kernels={"mstedge": edge_kernel},
+        rules={"edge_conflict": compile_rule(SPEC_MST_RULE)},
+        make_state=make_state,
+        initial_tasks=initial_tasks,
+        verify=verify,
+        priority_fields={"mstedge": "rank"},
+        # Kruskal's correctness *is* commit order, so the otherwise escape
+        # must see every live task, and admission is credit-limited so the
+        # minimum edge can always reach its rendezvous (a deterministic-
+        # reservation window in hardware).
+        otherwise_scope="global",
+        ordered_admission=True,
+        description="speculative Kruskal with component-overlap squashing",
+    )

@@ -1,0 +1,123 @@
+"""SPEC-SSSP: speculative single-source shortest path (Section 6.1).
+
+Aggressively parallelized Bellman-Ford after Hassaan et al. [21]: each task
+relaxes one vertex with a candidate distance; if the relaxation improves the
+vertex, all its neighbours are (re-)enqueued.  The rule broadcasts the
+distance of committing vertices to all running tasks: a task whose candidate
+can no longer improve its vertex is squashed before reaching the commit
+stage.  The commit itself is a combining (min) store, the fused
+compare-and-store unit handcrafted SSSP accelerators use [52].
+
+Distances are kept as scaled int64 (weights are integral in the road-network
+inputs), so equality with the Dijkstra oracle is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.eca import compile_rule
+from repro.core.kernel import (
+    AllocRule,
+    Alu,
+    Enqueue,
+    Expand,
+    Guard,
+    Kernel,
+    Load,
+    Rendezvous,
+    Store,
+)
+from repro.core.spec import ApplicationSpec, make_task_sets
+from repro.core.state import MemorySpace
+from repro.errors import SimulationError
+from repro.substrates.graphs.algorithms import dijkstra_distances
+from repro.substrates.graphs.csr import CSRGraph
+
+INT_INF = np.iinfo(np.int64).max // 4  # headroom so dist + weight never wraps
+
+SPEC_SSSP_RULE = """
+rule relax_conflict(my_index, addr, cand):
+    on reach relax.setDist
+        if event.addr == addr and event.value <= cand
+        do return false
+    otherwise immediately return true
+"""
+
+
+def _expand_relaxations(env: dict[str, Any], state: MemorySpace) -> list[dict]:
+    graph: CSRGraph = state.object("graph")
+    v = env["vertex"]
+    return [
+        {"w": int(u), "cand2": env["cand"] + int(weight)}
+        for u, weight in zip(graph.neighbors(v), graph.neighbor_weights(v))
+    ]
+
+
+def _relax_traffic(env: dict[str, Any], state: MemorySpace) -> int:
+    graph: CSRGraph = state.object("graph")
+    return 16 + 16 * graph.degree(env["vertex"])  # ids + weights
+
+
+def spec_sssp(graph: CSRGraph, root: int = 0) -> ApplicationSpec:
+    """Build the SPEC-SSSP specification for ``graph``."""
+    expected = dijkstra_distances(graph, root)
+
+    def make_state() -> MemorySpace:
+        state = MemorySpace()
+        dist = np.full(graph.num_vertices, INT_INF, dtype=np.int64)
+        dist[root] = 0
+        state.add_array("dist", dist, element_bytes=8)
+        state.add_object("graph", graph)
+        return state
+
+    def verify(state: MemorySpace) -> None:
+        got = np.asarray(state.region("dist").storage, dtype=np.float64)
+        got[got >= INT_INF] = np.inf
+        if not np.array_equal(got, expected):
+            bad = int(np.flatnonzero(got != expected)[0])
+            raise SimulationError(
+                f"SSSP distances wrong: vertex {bad} got {got[bad]}, "
+                f"expected {expected[bad]}"
+            )
+
+    relax_kernel = Kernel("relax", [
+        Alu("__addr__", lambda env: env["vertex"] * 8, reads=("vertex",)),
+        AllocRule(
+            "relax_conflict",
+            lambda env: {"addr": env["__addr__"], "cand": env["cand"]},
+        ),
+        Load("cur", "dist", lambda env: env["vertex"]),
+        Guard(lambda env: env["cand"] < env["cur"]),
+        Rendezvous("commit"),
+        Store("dist", lambda env: env["vertex"], lambda env: env["cand"],
+              label="setDist", combine=min, dst="old"),
+        Guard(lambda env: env["cand"] < env["old"]),
+        Expand(_expand_relaxations, traffic=_relax_traffic),
+        Enqueue("relax",
+                lambda env: {"vertex": env["w"], "cand": env["cand2"]}),
+    ])
+
+    def initial_tasks(state: MemorySpace) -> list[tuple[str, dict]]:
+        # Initial tasks are the neighbours of the root (Section 6.1).
+        return [
+            ("relax", {"vertex": int(u), "cand": int(weight)})
+            for u, weight in zip(graph.neighbors(root),
+                                 graph.neighbor_weights(root))
+        ]
+
+    return ApplicationSpec(
+        name="SPEC-SSSP",
+        mode="speculative",
+        task_sets=make_task_sets([
+            ("relax", "for-each", ("vertex", "cand")),
+        ]),
+        kernels={"relax": relax_kernel},
+        rules={"relax_conflict": compile_rule(SPEC_SSSP_RULE)},
+        make_state=make_state,
+        initial_tasks=initial_tasks,
+        verify=verify,
+        description="speculative Bellman-Ford with distance broadcast",
+    )

@@ -1,0 +1,240 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``        the registered benchmarks and their descriptions
+``rules APP``   pretty-print an application's ECA rules
+``run APP``     execute on the aggressive software (debug) runtime
+``simulate APP``cycle-level accelerator simulation, optional schedule trace
+``experiment``  regenerate table1 / figure9 / figure10 / resources
+``dse APP``     design-space exploration (Pareto frontier)
+
+All commands verify functional results where applicable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro.apps.registry import APP_BUILDERS, build_app
+from repro.core.runtime import AggressiveRuntime
+from repro.core.eca import parse_rule
+from repro.core.eca_format import format_rule
+from repro.eval.platforms import EVAL_HARP
+from repro.sim.accelerator import AcceleratorSim, SimConfig
+from repro.sim.trace import ScheduleTracer
+from repro.substrates.graphs.generators import random_graph
+
+
+def _default_spec(app: str):
+    """Build ``app`` with a reasonable default input."""
+    from repro.eval.workloads import default_workloads
+
+    workloads = default_workloads(scale=0.5)
+    if app in workloads:
+        return workloads[app].build_spec()
+    if app in ("SPEC-CC", "COOR-SSSP"):
+        return build_app(app, random_graph(200, 500, seed=1))
+    return build_app(app)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.apps.registry import _ensure_registered
+
+    _ensure_registered()
+    for name in sorted(APP_BUILDERS):
+        spec = _default_spec(name)
+        print(f"{name:10s} [{spec.mode:12s}] {spec.description}")
+    return 0
+
+
+def cmd_rules(args: argparse.Namespace) -> int:
+    spec = _default_spec(args.app)
+    print(f"# rules of {spec.name} ({spec.mode})")
+    for name, rule in spec.rules.items():
+        print()
+        if rule.source:
+            print(format_rule(parse_rule(rule.source)))
+        else:
+            print(f"rule {name}(...)  # compiled without source text")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    spec = _default_spec(args.app)
+    if args.threaded:
+        from repro.core.futures_runtime import FuturesRuntime
+
+        stats = FuturesRuntime(spec, threads=args.workers).run()
+        print(f"{spec.name}: {stats.tasks_executed} tasks on "
+              f"{args.workers} OS threads, "
+              f"{stats.tasks_squashed} squashed — VERIFIED")
+        return 0
+    runtime = AggressiveRuntime(spec, workers=args.workers)
+    stats = runtime.run()
+    print(f"{spec.name}: {stats.tasks_executed} tasks executed, "
+          f"{stats.tasks_committed} committed, "
+          f"{stats.tasks_squashed} squashed, "
+          f"{stats.otherwise_fired} otherwise / "
+          f"{stats.clause_fired} clause verdicts — VERIFIED")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    spec = _default_spec(args.app)
+    tracer = ScheduleTracer(max_cycles=args.trace_cycles) if args.trace \
+        else None
+    platform = EVAL_HARP.scaled(args.bandwidth)
+    sim = AcceleratorSim(
+        spec, platform=platform, config=SimConfig(prefetch=args.prefetch),
+        tracer=tracer,
+    )
+    result = sim.run()
+    print(f"{spec.name}: {result.cycles} cycles "
+          f"({result.seconds * 1e6:.1f} us at 200 MHz), "
+          f"utilization {result.utilization * 100:.1f}%, "
+          f"squash {result.squash_fraction * 100:.1f}%, "
+          f"cache hit {result.memory_hit_rate * 100:.0f}%, "
+          f"{result.memory_bytes} bytes over QPI — VERIFIED")
+    if tracer is not None:
+        print()
+        print(tracer.timeline(width=args.trace_width))
+    if args.profile:
+        print()
+        print("top stages by stall cycles:")
+        stalls = sorted(result.stats.per_stage_stalls.items(),
+                        key=lambda kv: -kv[1])[:8]
+        for name, count in stalls:
+            active = result.stats.per_stage_active.get(name, 0)
+            print(f"  {name:40s} stall={count:7d} active={active:7d}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.eval import experiments, reporting
+    from repro.eval.export import export_all
+
+    kind = args.kind
+    exported = {}
+    if kind == "table1":
+        result = experiments.run_table1()
+        print(reporting.format_table1(result))
+        exported["table1"] = result
+    elif kind == "figure9":
+        result = experiments.run_figure9(scale=args.scale)
+        print(reporting.format_figure9(result))
+        exported["figure9"] = result
+    elif kind == "figure10":
+        result = experiments.run_figure10(scale=args.scale)
+        print(reporting.format_figure10(result))
+        exported["figure10"] = result
+    elif kind == "resources":
+        result = experiments.run_resources(scale=min(args.scale, 0.5))
+        print(reporting.format_resources(result))
+        exported["resources"] = result
+    if args.json:
+        path = export_all(args.json, **exported)
+        print(f"\nwrote {path}")
+    return 0
+
+
+def cmd_dse(args: argparse.Namespace) -> int:
+    from repro.synthesis.dse import explore, format_frontier
+
+    spec_builder = lambda: _default_spec(args.app)  # noqa: E731
+    result = explore(
+        spec_builder,
+        replica_options=tuple(args.replicas),
+        lane_options=tuple(args.lanes),
+        platform=EVAL_HARP,
+    )
+    print(format_frontier(result))
+    best = result.best_performance()
+    print(f"best performance: {best.label} at {best.cycles} cycles")
+    return 0
+
+
+def cmd_rtl(args: argparse.Namespace) -> int:
+    from repro.synthesis.rtl import emit_rtl_for_spec
+
+    text = emit_rtl_for_spec(_default_spec(args.app))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Aggressive pipelining of irregular applications "
+                    "(ISCA 2017) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks").set_defaults(
+        handler=cmd_list
+    )
+
+    rules = sub.add_parser("rules", help="pretty-print an app's ECA rules")
+    rules.add_argument("app")
+    rules.set_defaults(handler=cmd_rules)
+
+    run = sub.add_parser("run", help="execute on the software debug runtime")
+    run.add_argument("app")
+    run.add_argument("--workers", type=int, default=8)
+    run.add_argument("--threaded", action="store_true",
+                     help="use the futures/promises OS-thread runtime")
+    run.set_defaults(handler=cmd_run)
+
+    simulate = sub.add_parser("simulate",
+                              help="cycle-level accelerator simulation")
+    simulate.add_argument("app")
+    simulate.add_argument("--bandwidth", type=float, default=1.0,
+                          help="QPI bandwidth multiplier (Figure 10 knob)")
+    simulate.add_argument("--prefetch", action="store_true",
+                          help="enable next-line prefetch (extension)")
+    simulate.add_argument("--trace", action="store_true",
+                          help="print an ASCII schedule timeline")
+    simulate.add_argument("--trace-cycles", type=int, default=2000)
+    simulate.add_argument("--trace-width", type=int, default=72)
+    simulate.add_argument("--profile", action="store_true",
+                          help="print the most-stalled stages")
+    simulate.set_defaults(handler=cmd_simulate)
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper table/figure")
+    experiment.add_argument(
+        "kind", choices=("table1", "figure9", "figure10", "resources")
+    )
+    experiment.add_argument("--scale", type=float, default=1.0)
+    experiment.add_argument("--json", help="also export results to JSON")
+    experiment.set_defaults(handler=cmd_experiment)
+
+    rtl = sub.add_parser("rtl", help="emit the SystemVerilog skeleton")
+    rtl.add_argument("app")
+    rtl.add_argument("--output", help="write to a file instead of stdout")
+    rtl.set_defaults(handler=cmd_rtl)
+
+    dse = sub.add_parser("dse", help="design-space exploration")
+    dse.add_argument("app")
+    dse.add_argument("--replicas", type=int, nargs="+", default=[1, 2, 4])
+    dse.add_argument("--lanes", type=int, nargs="+", default=[16, 64])
+    dse.set_defaults(handler=cmd_dse)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,99 @@
+"""Pretty-printer (unparser) for ECA rule ASTs.
+
+Produces canonical rule source text from a parsed/compiled rule, used by
+diagnostics (``repro.cli`` prints every rule of an application) and by the
+round-trip property tests: ``parse(format(ast))`` must reproduce the AST.
+"""
+
+from __future__ import annotations
+
+from repro.core.eca import (
+    BinaryOp,
+    ClauseAst,
+    EventField,
+    EventSpec,
+    Expr,
+    Literal,
+    ParamRef,
+    RuleAst,
+    UnaryOp,
+)
+from repro.core.events import EventKind
+from repro.errors import SpecificationError
+
+# Precedence levels matching the parser (higher binds tighter).
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "not": 3,
+    "==": 4, "!=": 4, "<": 4, "<=": 4, ">": 4, ">=": 4, "overlaps": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6,
+}
+
+
+def format_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, bool):
+            return "true" if expr.value else "false"
+        return repr(expr.value)
+    if isinstance(expr, ParamRef):
+        return expr.name
+    if isinstance(expr, EventField):
+        return f"event.{expr.name}"
+    if isinstance(expr, UnaryOp):
+        inner = format_expr(expr.operand, _PRECEDENCE["not"])
+        text = f"not {inner}"
+        if parent_precedence > _PRECEDENCE["not"]:
+            return f"({text})"
+        return text
+    if isinstance(expr, BinaryOp):
+        precedence = _PRECEDENCE[expr.op]
+        # Comparisons (and overlaps) are non-associative in the grammar, so
+        # an operand at the same precedence must be parenthesized.
+        non_associative = precedence == 4
+        left = format_expr(
+            expr.left, precedence + (1 if non_associative else 0)
+        )
+        right = format_expr(expr.right, precedence + 1)
+        text = f"{left} {expr.op} {right}"
+        if parent_precedence > precedence:
+            return f"({text})"
+        return text
+    raise SpecificationError(f"cannot format expression {expr!r}")
+
+
+def _format_event(spec: EventSpec) -> str:
+    if spec.kind is EventKind.ACTIVATE:
+        return f"activate {spec.task_set}"
+    return f"reach {spec.task_set}.{spec.label}"
+
+
+def _format_clause(clause: ClauseAst) -> str:
+    events = " or ".join(_format_event(e) for e in clause.events)
+    parts = [f"    on {events}"]
+    if clause.condition is not None:
+        parts.append(f"        if {format_expr(clause.condition)}")
+    kind, payload = clause.action
+    if kind == "return":
+        action = f"return {'true' if payload else 'false'}"
+    else:
+        action = f"satisfy {payload}"
+    parts.append(f"        do {action}")
+    return "\n".join(parts)
+
+
+def format_rule(ast: RuleAst) -> str:
+    """Render a rule AST back to canonical source text."""
+    header = f"rule {ast.name}({', '.join(ast.params)})"
+    if ast.requires:
+        header += f" requires {', '.join(ast.requires)}"
+    lines = [header + ":"]
+    for clause in ast.clauses:
+        lines.append(_format_clause(clause))
+    keyword = "otherwise immediately" if ast.immediate else "otherwise"
+    lines.append(
+        f"    {keyword} return {'true' if ast.otherwise else 'false'}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Events broadcast to rules (Section 4.2.2).
+
+The ECA grammar restricts events to (a) activation of tasks, (b) tasks
+reaching specific operations in their bodies, or combinations.  When an
+event is signalled, the index and data fields of the triggering task are
+broadcast to all live rules — on FPGA this is the event bus of Figure 8.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.core.indexing import TaskIndex
+
+
+class EventKind(enum.Enum):
+    """What happened to the triggering task."""
+
+    ACTIVATE = "activate"     # a task was pushed into a workset queue
+    REACH = "reach"           # a task reached a named operation (store/commit/...)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One broadcast on the event bus.
+
+    Attributes
+    ----------
+    kind / task_set / label:
+        ``ACTIVATE`` events name the task set that received the task;
+        ``REACH`` events additionally carry the label of the operation
+        reached (e.g. ``"setLevel"``) in ``label``.
+    index:
+        Well-order index of the triggering task.
+    payload:
+        The triggering task's data fields, plus any operation operands
+        (e.g. the address and value of a committing store).
+    """
+
+    kind: EventKind
+    task_set: str
+    label: str
+    index: TaskIndex
+    payload: Mapping[str, Any]
+
+    def matches(self, kind: EventKind, task_set: str, label: str) -> bool:
+        """Does this broadcast trigger a clause declared ON (kind, set, label)?
+
+        An empty declared label matches any REACH label; an empty declared
+        task_set matches any set.
+        """
+        if self.kind is not kind:
+            return False
+        if task_set and self.task_set != task_set:
+            return False
+        if label and self.label != label:
+            return False
+        return True
+
+    def field(self, name: str) -> Any:
+        return self.payload[name]

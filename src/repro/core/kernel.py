@@ -1,0 +1,265 @@
+"""Task-body kernels: the primitive-operation IR of a task set.
+
+A kernel is what the paper's Figure 6 lowers: the loop body of one task set,
+expressed as a short program over primitive operations that have direct
+hardware templates (Section 5.2).  The same kernel is executed functionally
+by the software debug runtime and cycle-by-cycle by the accelerator
+simulator, so a specification is *one* artifact with two interpreters.
+
+Primitive operations
+--------------------
+
+=============  ==============================================================
+``Const``      bind a token field to a constant
+``Alu``        combinational function of token fields
+``Load``       read ``region[addr]`` into a field (variable latency on FPGA)
+``Store``      write ``region[addr]``; broadcasts a REACH event (its label)
+``Guard``      predicate steering: token dies (or runs else-ops) when false
+``Expand``     data-dependent token multiplication (e.g. neighbour iteration)
+``AllocRule``  create a rule instance bound to this task
+``Rendezvous`` wait for the rule's value; steer commit vs abort paths
+``Enqueue``    activate a new task (push into a workset queue)
+``Call``       opaque heavyweight operation with declared cost and traffic
+``Label``      no-op marker that broadcasts a REACH event when crossed
+=============  ==============================================================
+
+Fields are read and written on the token's environment (a dict); ``Expand``
+and branch paths keep the IR expressive enough for all six benchmarks while
+every op still maps onto one template.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.errors import SpecificationError
+
+Env = dict[str, Any]
+# Semantics callables receive (env, state) where state is the MemorySpace.
+FieldFn = Callable[[Env], Any]
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for primitive operations."""
+
+    def op_name(self) -> str:
+        return type(self).__name__.lower()
+
+
+@dataclass(frozen=True)
+class Const(Op):
+    dst: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class Alu(Op):
+    """``dst = fn(env)`` — a combinational function of token fields."""
+
+    dst: str
+    fn: FieldFn
+    reads: tuple[str, ...] = ()
+    latency: int = 1
+
+
+@dataclass(frozen=True)
+class Load(Op):
+    """``dst = region[addr(env)]`` with the element's byte traffic."""
+
+    dst: str
+    region: str
+    addr: FieldFn
+
+
+@dataclass(frozen=True)
+class Store(Op):
+    """``region[addr(env)] = value(env)``; reaching it broadcasts ``label``.
+
+    ``combine``, when given, makes the store a read-modify-write commit
+    unit: the stored value is ``combine(old, new)``.  Handcrafted SSSP
+    accelerators implement exactly such fused compare-and-store commit
+    stages; the template costs one extra read port.  ``dst`` optionally
+    receives the previous value on the token (to predicate later ops on
+    whether the commit improved the location).
+    """
+
+    region: str
+    addr: FieldFn
+    value: FieldFn
+    label: str = ""
+    extra_payload: tuple[str, ...] = ()
+    combine: Callable[[Any, Any], Any] | None = None
+    dst: str = ""
+
+
+@dataclass(frozen=True)
+class Guard(Op):
+    """Steer on a predicate of token fields; the false path runs
+    ``else_ops`` and then the token dies (maps to a switch actor + sink).
+    """
+
+    pred: FieldFn
+    else_ops: tuple["Op", ...] = ()
+
+
+@dataclass(frozen=True)
+class Expand(Op):
+    """Replace the token by one child token per yielded field-dict.
+
+    ``items`` is called as ``items(env, state)`` and must return an iterable
+    of dicts merged into copies of the parent environment.  On FPGA this is
+    the dynamic-rate actor feeding neighbour iteration.  ``traffic_bytes``
+    estimates the sequential-stream bytes fetched per *parent* token (e.g.
+    one CSR row); ``per_item_cycles`` is the emission rate (1 = one child
+    per cycle).
+    """
+
+    items: Callable[[Env, Any], Iterable[Mapping[str, Any]]]
+    traffic: Callable[[Env, Any], int] | None = None
+    per_item_cycles: int = 1
+
+
+@dataclass(frozen=True)
+class AllocRule(Op):
+    """Instantiate rule ``rule_name`` with arguments computed from the env.
+
+    The instance handle is stored on the token; the matching ``Rendezvous``
+    consumes it.  Stalls on FPGA when no rule-engine lane is free.
+
+    ``rule_name`` may be a callable of the env, selecting among several rule
+    types at runtime — hardware-wise a demux in front of the per-type rule
+    engines (COOR-LU allocates a different gate per block-kernel kind).
+    """
+
+    rule_name: str | Callable[[Env], str]
+    args: Callable[[Env], Mapping[str, Any]]
+
+    def resolve(self, env: Env) -> str:
+        if callable(self.rule_name):
+            return self.rule_name(env)
+        return self.rule_name
+
+
+@dataclass(frozen=True)
+class Rendezvous(Op):
+    """Block until the task's rule returns; steer on the boolean.
+
+    True continues to the following ops (commit path); false runs
+    ``abort_ops`` and the token dies.  ``label`` names the rendezvous for
+    statistics and for the minimum-waiting-index broadcast.
+    """
+
+    label: str
+    abort_ops: tuple["Op", ...] = ()
+
+
+@dataclass(frozen=True)
+class Enqueue(Op):
+    """Activate a new task of ``task_set`` with fields from the env.
+
+    Broadcasts an ACTIVATE event carrying the new task's fields.  ``when``
+    (optional) suppresses the activation when false — a fused guard, used
+    where the synthesized pipeline would merge the switch into the queue
+    port.
+    """
+
+    task_set: str
+    fields: Callable[[Env], Mapping[str, Any]]
+    when: FieldFn | None = None
+
+
+@dataclass(frozen=True)
+class Call(Op):
+    """Opaque operation: ``fn(env, state) -> dict`` of field updates.
+
+    Heavyweight problem-specific work (cavity computation, dense block
+    kernels) that synthesizes to a pipelined function unit.  ``cycles``
+    and ``traffic`` parameterize its template's latency and memory traffic
+    (both may inspect the env so data-dependent costs are expressible).
+    ``label``, when set, broadcasts a REACH event after execution with the
+    updated fields as payload.
+    """
+
+    fn: Callable[[Env, Any], Mapping[str, Any] | None]
+    cycles: Callable[[Env], int] | int = 1
+    traffic: Callable[[Env], int] | int = 0
+    label: str = ""
+    # Hardware profile of the function unit's template: "light" (pointer
+    # walker / comparator tree), "geometry" (floating-point predicate
+    # pipeline), or "macc" (dense multiply-accumulate array).
+    profile: str = "light"
+    # This operation commits the task's result: its well-order obligation
+    # ends the moment the operation issues, so the minimum-live broadcast
+    # can move on without waiting for the token to drain the pipeline.
+    completes_task: bool = False
+
+
+@dataclass(frozen=True)
+class Label(Op):
+    """Marker op: broadcasts a REACH event with the current fields."""
+
+    label: str
+    payload: tuple[str, ...] = ()
+
+
+@dataclass
+class Kernel:
+    """The body of one task set: a sequence of primitive ops.
+
+    ``rendezvous`` labels must be unique; branch paths (guard else-ops and
+    rendezvous abort-ops) must not contain further control ops — they are
+    short commit/retry epilogues, which is all the benchmarks (and the
+    paper's pipelines) need.
+    """
+
+    task_set: str
+    ops: list[Op] = dataclass_field(default_factory=list)
+
+    def validate(self) -> None:
+        labels: list[str] = []
+        alloc_count = 0
+        rendezvous_count = 0
+        for op in self.ops:
+            if isinstance(op, AllocRule):
+                alloc_count += 1
+            if isinstance(op, Rendezvous):
+                rendezvous_count += 1
+                labels.append(op.label)
+                self._check_epilogue(op.abort_ops, "abort path")
+            if isinstance(op, Guard):
+                self._check_epilogue(op.else_ops, "guard else path")
+        if len(set(labels)) != len(labels):
+            raise SpecificationError(
+                f"kernel {self.task_set!r} has duplicate rendezvous labels"
+            )
+        if rendezvous_count > alloc_count:
+            raise SpecificationError(
+                f"kernel {self.task_set!r} has a rendezvous without a "
+                "preceding AllocRule"
+            )
+
+    @staticmethod
+    def _check_epilogue(ops: Sequence[Op], where: str) -> None:
+        for op in ops:
+            if isinstance(op, (Rendezvous, Guard, Expand, AllocRule)):
+                raise SpecificationError(
+                    f"{where} may only contain straight-line ops, "
+                    f"found {op.op_name()}"
+                )
+
+    def op_counts(self) -> dict[str, int]:
+        """Histogram of op kinds (drives the resource model)."""
+        counts: dict[str, int] = {}
+
+        def visit(ops: Sequence[Op]) -> None:
+            for op in ops:
+                counts[op.op_name()] = counts.get(op.op_name(), 0) + 1
+                if isinstance(op, Guard):
+                    visit(op.else_ops)
+                if isinstance(op, Rendezvous):
+                    visit(op.abort_ops)
+
+        visit(self.ops)
+        return counts

@@ -1,0 +1,112 @@
+"""Program state (the Sigma of Definition 4.1) as named memory regions.
+
+Task bodies only touch shared state through LOAD/STORE/CALL primitive ops
+against a :class:`MemorySpace`, so every runtime — the functional software
+runtime and the cycle-level accelerator simulator — sees the same accesses
+and the timing models can account for every byte moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class Region:
+    """One named region: an indexable array or an opaque object.
+
+    ``element_bytes`` sizes the memory traffic of a LOAD/STORE to one
+    element; ``base`` is the region's base byte address in the flat address
+    space the cache model indexes.
+    """
+
+    name: str
+    storage: Any
+    element_bytes: int
+    base: int
+
+    def address_of(self, index: int) -> int:
+        """Flat byte address of element ``index`` (cache-model key)."""
+        return self.base + int(index) * self.element_bytes
+
+
+class MemorySpace:
+    """A flat address space of named regions.
+
+    Array regions (numpy arrays or lists) support indexed load/store; opaque
+    regions (mesh, disjoint set, block matrices) are manipulated by CALL ops
+    that declare their traffic explicitly.
+    """
+
+    _ALIGNMENT = 1 << 20  # regions start on 1 MiB boundaries
+
+    def __init__(self) -> None:
+        self._regions: dict[str, Region] = {}
+        self._next_base = 0
+
+    def add_array(
+        self, name: str, storage: Any, element_bytes: int = 8
+    ) -> Region:
+        """Register an indexable region; returns its descriptor."""
+        if name in self._regions:
+            raise SimulationError(f"region {name!r} already registered")
+        size = len(storage) if hasattr(storage, "__len__") else 0
+        span = max(size * element_bytes, 1)
+        base = self._next_base
+        self._next_base += -(-span // self._ALIGNMENT) * self._ALIGNMENT
+        region = Region(name, storage, element_bytes, base)
+        self._regions[name] = region
+        return region
+
+    def add_object(self, name: str, obj: Any) -> Region:
+        """Register an opaque region (accessed only via CALL ops)."""
+        if name in self._regions:
+            raise SimulationError(f"region {name!r} already registered")
+        base = self._next_base
+        self._next_base += self._ALIGNMENT
+        region = Region(name, obj, 0, base)
+        self._regions[name] = region
+        return region
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regions
+
+    def region(self, name: str) -> Region:
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise SimulationError(f"unknown region {name!r}") from None
+
+    def load(self, name: str, index: int) -> Any:
+        region = self.region(name)
+        return region.storage[int(index)]
+
+    def store(self, name: str, index: int, value: Any) -> None:
+        region = self.region(name)
+        region.storage[int(index)] = value
+
+    def object(self, name: str) -> Any:
+        """The opaque object behind a region."""
+        return self.region(name).storage
+
+    def address(self, name: str, index: int) -> int:
+        return self.region(name).address_of(index)
+
+    def names(self) -> list[str]:
+        return sorted(self._regions)
+
+
+def int_array(values: Any, fill: int | None = None, size: int | None = None
+              ) -> np.ndarray:
+    """Helper to build int64 state arrays (levels, distances as scaled ints)."""
+    if fill is not None:
+        if size is None:
+            raise SimulationError("int_array with fill requires size")
+        arr = np.full(size, fill, dtype=np.int64)
+        return arr
+    return np.asarray(values, dtype=np.int64)

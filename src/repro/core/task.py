@@ -1,0 +1,119 @@
+"""Tasks and task sets (Definitions 4.1-4.3).
+
+A *task* is one dynamic iteration of a loop body: a partial function from
+program states to (program state, new tasks).  Tasks with the same function
+form a *task set*, classified by the loop construct that iterates it.  An
+*active* task is one sitting in a workset queue, ready to execute.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.indexing import TaskIndex
+from repro.errors import SpecificationError
+
+
+class LoopKind(enum.Enum):
+    """The two loop constructs of Section 4.1."""
+
+    FOR_EACH = "for-each"
+    FOR_ALL = "for-all"
+
+    @classmethod
+    def parse(cls, text: str) -> "LoopKind":
+        for member in cls:
+            if member.value == text:
+                return member
+        raise SpecificationError(f"unknown loop kind {text!r}")
+
+
+@dataclass(frozen=True)
+class TaskSetDecl:
+    """Declaration of one task set.
+
+    Parameters
+    ----------
+    name:
+        Task-set (loop) name, e.g. ``"visit"``.
+    kind:
+        Which loop construct iterates the set.
+    fields:
+        Names of the data fields a task of this set carries, in token
+        layout order (this fixes the queue entry width on FPGA).
+    field_bits:
+        Per-field storage width; defaults to 32 bits each.  Used by the
+        synthesis resource model to size queue entries.
+    """
+
+    name: str
+    kind: LoopKind
+    fields: tuple[str, ...]
+    field_bits: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecificationError("task set needs a name")
+        if len(set(self.fields)) != len(self.fields):
+            raise SpecificationError(f"duplicate fields in {self.fields}")
+        if self.field_bits and len(self.field_bits) != len(self.fields):
+            raise SpecificationError(
+                "field_bits must be empty or parallel to fields"
+            )
+
+    @property
+    def entry_bits(self) -> int:
+        """Queue entry width in bits (excluding the index tag)."""
+        if self.field_bits:
+            return sum(self.field_bits)
+        return 32 * len(self.fields)
+
+
+_task_counter = itertools.count()
+
+
+@dataclass
+class TaskInstance:
+    """A dynamic task: data fields plus its well-order index.
+
+    ``uid`` is a globally unique creation stamp used for diagnostics and for
+    deterministic tie-breaking among for-all tasks that share an index.
+    """
+
+    task_set: str
+    index: TaskIndex
+    data: dict[str, Any]
+    uid: int = field(default_factory=lambda: next(_task_counter))
+
+    def sort_key(self) -> tuple:
+        """Well-order key; uid breaks ties among equal (for-all) indices."""
+        return (self.index.positions, self.uid)
+
+    def earlier_than(self, other: "TaskInstance") -> bool:
+        return self.index.earlier_than(other.index)
+
+    def with_fields(self, **updates: Any) -> "TaskInstance":
+        """A copy with some data fields replaced (same index and uid)."""
+        merged = dict(self.data)
+        merged.update(updates)
+        return TaskInstance(self.task_set, self.index, merged, self.uid)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TaskInstance({self.task_set}{self.index}, {self.data})"
+
+
+def validate_task_data(decl: TaskSetDecl, data: Mapping[str, Any]) -> None:
+    """Raise if ``data`` does not match the declaration's field list."""
+    missing = set(decl.fields) - set(data)
+    extra = set(data) - set(decl.fields)
+    if missing or extra:
+        raise SpecificationError(
+            f"task data for {decl.name!r} mismatched: "
+            f"missing={sorted(missing)} extra={sorted(extra)}"
+        )

@@ -1,0 +1,6 @@
+"""Software counterparts: Xeon E5-2680 v2 timing models (Section 6.3)."""
+
+from repro.cpu.counters import WorkloadProfile
+from repro.cpu.timing import parallel_seconds, sequential_seconds
+
+__all__ = ["WorkloadProfile", "sequential_seconds", "parallel_seconds"]

@@ -1,0 +1,228 @@
+"""Workload profiles: event counts the CPU timing models consume.
+
+Each extractor *runs the reference algorithm* while counting the events a
+GCC -O3 implementation would generate: instructions retired, random
+(pointer-chasing) memory touches, sequentially streamed bytes, and the
+number of global synchronization rounds a parallel aggressive runtime would
+execute.  The counts are exact for the given input, so the timing model's
+only free parameters are the per-event costs in ``eval/platforms.py``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.substrates.dsu import DisjointSet
+from repro.substrates.graphs.algorithms import INF
+from repro.substrates.graphs.csr import CSRGraph
+from repro.substrates.mesh.delaunay import triangulate
+from repro.substrates.mesh.refinement import (
+    bad_triangles,
+    cavity_of,
+    is_bad,
+    random_points,
+    retriangulate_cavity,
+    _center_in_bounds,
+)
+from repro.substrates.sparse.block import (
+    BlockSparseMatrix,
+    lu_block_tasks,
+)
+
+
+@dataclass
+class WorkloadProfile:
+    """Event counts for one benchmark run."""
+
+    name: str
+    tasks: int = 0
+    instructions: float = 0.0
+    random_accesses: int = 0
+    sequential_bytes: int = 0
+    rounds: int = 0                 # global sync rounds in a parallel run
+    working_set_bytes: int = 0
+    flops: float = 0.0              # dense arithmetic (vectorizable)
+    notes: dict = field(default_factory=dict)
+
+
+# Per-event instruction estimates for -O3 scalar code.
+_INSTR_PER_EDGE_BFS = 13       # load level, compare, branch, queue push
+_INSTR_PER_VERTEX_BFS = 22     # dequeue, row bounds, loop setup
+_INSTR_PER_RELAX = 14
+_INSTR_PER_FIND_HOP = 6
+_INSTR_PER_INCIRCLE = 45       # determinant + comparisons
+
+
+def bfs_profile(graph: CSRGraph, root: int) -> WorkloadProfile:
+    """Counts for the sequential queue-based BFS of Figure 1(a)."""
+    levels = np.full(graph.num_vertices, INF, dtype=np.int64)
+    levels[root] = 0
+    queue: deque[int] = deque([root])
+    visited = 0
+    edges_examined = 0
+    rounds = 0
+    while queue:
+        v = queue.popleft()
+        visited += 1
+        next_level = levels[v] + 1
+        for u in graph.neighbors(v):
+            edges_examined += 1
+            if levels[u] == INF:
+                levels[u] = next_level
+                queue.append(int(u))
+                rounds = max(rounds, int(next_level))
+    return WorkloadProfile(
+        name="BFS",
+        tasks=visited + edges_examined,
+        instructions=(
+            visited * _INSTR_PER_VERTEX_BFS
+            + edges_examined * _INSTR_PER_EDGE_BFS
+        ),
+        random_accesses=edges_examined + visited,
+        sequential_bytes=graph.adjacency_bytes(),
+        rounds=rounds,
+        working_set_bytes=graph.adjacency_bytes()
+        + 8 * graph.num_vertices,
+        notes={"edges_examined": edges_examined, "visited": visited},
+    )
+
+
+def sssp_profile(graph: CSRGraph, root: int) -> WorkloadProfile:
+    """Counts for work-list Bellman-Ford (what SPEC-SSSP parallelizes)."""
+    dist = np.full(graph.num_vertices, np.inf)
+    dist[root] = 0.0
+    worklist: deque[int] = deque([root])
+    queued = np.zeros(graph.num_vertices, dtype=bool)
+    queued[root] = True
+    relaxations = 0
+    pops = 0
+    while worklist:
+        v = worklist.popleft()
+        pops += 1
+        queued[v] = False
+        base = dist[v]
+        for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+            relaxations += 1
+            candidate = base + w
+            if candidate < dist[u]:
+                dist[u] = candidate
+                if not queued[u]:
+                    worklist.append(int(u))
+                    queued[u] = True
+    return WorkloadProfile(
+        name="SSSP",
+        tasks=pops,
+        instructions=relaxations * _INSTR_PER_RELAX + pops * 10,
+        random_accesses=2 * relaxations,
+        sequential_bytes=2 * graph.adjacency_bytes(),  # ids + weights
+        rounds=max(1, pops // max(1, graph.num_vertices // 4)),
+        working_set_bytes=2 * graph.adjacency_bytes()
+        + 8 * graph.num_vertices,
+        notes={"relaxations": relaxations, "pops": pops},
+    )
+
+
+def mst_profile(graph: CSRGraph) -> WorkloadProfile:
+    """Counts for sort + Kruskal with union by rank (SPEC-MST's baseline)."""
+    edges = graph.unique_undirected_edges()
+    dsu = DisjointSet(graph.num_vertices)
+    find_hops = 0
+    unions = 0
+
+    def count_find(x: int) -> int:
+        nonlocal find_hops
+        hops = 0
+        root = x
+        while dsu._parent[root] != root:
+            root = dsu._parent[root]
+            hops += 1
+        find_hops += hops + 1
+        return root
+
+    for u, v, _w in edges:
+        ru, rv = count_find(u), count_find(v)
+        if ru != rv:
+            dsu.union(u, v)
+            unions += 1
+    n_edges = len(edges)
+    sort_instr = 11.0 * n_edges * max(1.0, np.log2(max(2, n_edges)))
+    return WorkloadProfile(
+        name="MST",
+        tasks=n_edges,
+        instructions=sort_instr + find_hops * _INSTR_PER_FIND_HOP
+        + unions * 12,
+        random_accesses=find_hops + 2 * unions,
+        sequential_bytes=24 * n_edges,
+        rounds=max(1, n_edges // 64),
+        working_set_bytes=24 * n_edges + 16 * graph.num_vertices,
+        notes={"unions": unions, "find_hops": find_hops},
+    )
+
+
+def dmr_profile(n_points: int, seed: int, min_angle: float = 25.0
+                ) -> WorkloadProfile:
+    """Counts for sequential Delaunay refinement."""
+    mesh = triangulate(random_points(n_points, seed))
+    worklist = bad_triangles(mesh, min_angle)
+    initial_bad = len(worklist)
+    refinements = 0
+    cavity_triangles = 0
+    incircle_tests = 0
+    while worklist:
+        tri = worklist.pop()
+        if tri not in mesh or not is_bad(mesh, tri, min_angle):
+            continue
+        center, cavity = cavity_of(mesh, tri)
+        incircle_tests += 3 * len(cavity) + 3
+        if not _center_in_bounds(mesh, center):
+            continue
+        created = retriangulate_cavity(mesh, center, cavity)
+        if created is None:
+            continue
+        refinements += 1
+        cavity_triangles += len(cavity)
+        worklist.extend(t for t in created if is_bad(mesh, t, min_angle))
+    return WorkloadProfile(
+        name="DMR",
+        tasks=refinements,
+        instructions=incircle_tests * _INSTR_PER_INCIRCLE
+        + refinements * 420 + cavity_triangles * 150,
+        random_accesses=6 * cavity_triangles + 12 * refinements,
+        sequential_bytes=96 * cavity_triangles,
+        rounds=max(1, refinements // 32),
+        working_set_bytes=200 * len(mesh.triangles),
+        notes={"initial_bad": initial_bad, "refinements": refinements,
+               "avg_cavity": cavity_triangles / max(1, refinements)},
+    )
+
+
+def lu_profile(matrix: BlockSparseMatrix) -> WorkloadProfile:
+    """Counts for the BOTS sparse LU block task list."""
+    tasks = lu_block_tasks(matrix)
+    b = matrix.block_size
+    flops = 0.0
+    block_touches = 0
+    for task in tasks:
+        if task.kind == "lu0":
+            flops += 2.0 * b ** 3 / 3.0
+            block_touches += 1
+        elif task.kind in ("fwd", "bdiv"):
+            flops += float(b ** 3)
+            block_touches += 2
+        else:
+            flops += 2.0 * b ** 3
+            block_touches += 3
+    return WorkloadProfile(
+        name="LU",
+        tasks=len(tasks),
+        instructions=len(tasks) * 80,  # loop bookkeeping; flops separate
+        random_accesses=block_touches * 4,
+        sequential_bytes=block_touches * b * b * 8,
+        rounds=matrix.grid,
+        working_set_bytes=matrix.total_bytes(),
+        flops=flops,
+        notes={"block_tasks": len(tasks)},
+    )

@@ -1,0 +1,65 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch framework failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpecificationError(ReproError):
+    """An application specification is malformed or inconsistent."""
+
+
+class EcaSyntaxError(SpecificationError):
+    """The ECA rule source text failed to tokenize or parse."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class EcaSemanticError(SpecificationError):
+    """The ECA rule parsed but refers to unknown names or lacks clauses."""
+
+
+class LoweringError(ReproError):
+    """Specification could not be lowered into the BDFG intermediate form."""
+
+
+class SynthesisError(ReproError):
+    """A datapath could not be constructed from templates."""
+
+
+class ResourceError(SynthesisError):
+    """The tuned design does not fit on the target device."""
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """No component made progress while tasks were still outstanding."""
+
+    def __init__(self, cycle: int, detail: str = "") -> None:
+        self.cycle = cycle
+        message = f"simulated accelerator deadlocked at cycle {cycle}"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class SchedulingError(ReproError):
+    """The software runtime scheduler violated an ordering invariant."""
+
+
+class InputError(ReproError):
+    """A workload input (graph, mesh, matrix) is invalid."""

@@ -1,0 +1,5 @@
+"""Evaluation harness: platforms, experiments, reporting."""
+
+from repro.eval.platforms import HARP, XEON_E5_2680V2, HarpPlatform, XeonPlatform
+
+__all__ = ["HARP", "XEON_E5_2680V2", "HarpPlatform", "XeonPlatform"]

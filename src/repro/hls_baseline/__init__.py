@@ -1,0 +1,5 @@
+"""The AOCL-synthesized baseline of Section 2.2 / Table 1."""
+
+from repro.hls_baseline.opencl_model import OpenClBfsModel, opencl_bfs_seconds
+
+__all__ = ["OpenClBfsModel", "opencl_bfs_seconds"]

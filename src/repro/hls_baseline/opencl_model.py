@@ -1,0 +1,67 @@
+"""Execution model of the Altera-OpenCL-synthesized BFS (Figure 1(c)).
+
+OpenDwarfs' OpenCL BFS is the classic two-kernel formulation: kernel 1
+scans *all* vertices, expanding the frontier's neighbours; kernel 2 scans
+all vertices again, promoting "updated" marks into the visited set.  The
+host relaunches both kernels once per BFS level until kernel 2 reports no
+change.  All inter-loop dependences are resolved by the host + barriers:
+newly created work goes back to board memory each round.
+
+On a high-diameter road network this schedule is catastrophic — thousands
+of levels, each paying two kernel launches plus two full-array scans —
+which is how Table 1's 124.1 s (vs 0.47 s for SPEC-BFS on the same graph)
+comes about.  The model below reproduces that mechanism with constants from
+the Stratix IV AOCL environment the paper used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.substrates.graphs.algorithms import INF, bfs_levels
+from repro.substrates.graphs.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class OpenClBfsModel:
+    """Timing constants for the AOCL BFS on the Stratix IV board.
+
+    ``launch_overhead_s`` is the host-driver round trip per kernel launch
+    over PCIe.  Real AOCL launches cost hundreds of microseconds to a few
+    milliseconds; the default here is scaled down with the evaluation
+    inputs (see EXPERIMENTS.md) so the launch-to-work ratio matches the
+    paper's full-size USA-road regime — Table 1 is reproduced as a ratio,
+    not in absolute seconds.  The scan terms stream the vertex/mask arrays
+    through the synthesized pipelines at board memory bandwidth.
+    """
+
+    launch_overhead_s: float = 60e-6
+    kernel_clock_hz: float = 150e6
+    board_bandwidth_gbps: float = 6.4
+    bytes_per_vertex_scan: int = 16     # mask reads/writes in both kernels
+    edge_bytes: int = 8
+
+    def seconds(self, graph: CSRGraph, root: int = 0) -> float:
+        """End-to-end AOCL BFS time for ``graph``."""
+        levels = bfs_levels(graph, root)
+        finite = levels[levels < INF]
+        num_levels = int(finite.max()) + 1 if finite.size else 1
+        bandwidth = self.board_bandwidth_gbps * 1e9
+        per_level_scan = (
+            2 * graph.num_vertices * self.bytes_per_vertex_scan / bandwidth
+        )
+        edge_traffic = graph.num_edges * self.edge_bytes / bandwidth
+        launches = 2 * num_levels * self.launch_overhead_s
+        return launches + num_levels * per_level_scan + edge_traffic
+
+    def level_count(self, graph: CSRGraph, root: int = 0) -> int:
+        levels = bfs_levels(graph, root)
+        finite = levels[levels < INF]
+        return int(finite.max()) + 1 if finite.size else 1
+
+
+def opencl_bfs_seconds(graph: CSRGraph, root: int = 0) -> float:
+    """Convenience wrapper with the default board constants."""
+    return OpenClBfsModel().seconds(graph, root)

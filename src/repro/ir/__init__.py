@@ -1,0 +1,22 @@
+"""Dataflow intermediate representation (Section 5.1).
+
+Specifications lower to a Boolean Dataflow Graph (BDFG) — actors connected
+by token channels, with *switch* actors encoding the control dependences as
+data dependences so no centralized control unit is needed.  The BDFG is the
+bridge between the task/rule abstraction and the template-based FPGA
+datapath (Figure 6).
+"""
+
+from repro.ir.bdfg import Actor, ActorKind, Bdfg, Channel
+from repro.ir.lowering import lower_kernel, lower_spec
+from repro.ir.passes import check_graph
+
+__all__ = [
+    "Actor",
+    "ActorKind",
+    "Bdfg",
+    "Channel",
+    "lower_kernel",
+    "lower_spec",
+    "check_graph",
+]

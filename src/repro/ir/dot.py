@@ -1,0 +1,42 @@
+"""Graphviz export of BDFGs (for documentation and debugging)."""
+
+from __future__ import annotations
+
+from repro.ir.bdfg import ActorKind, Bdfg
+
+_SHAPES = {
+    ActorKind.SOURCE: "invhouse",
+    ActorKind.SINK: "house",
+    ActorKind.SWITCH: "diamond",
+    ActorKind.RENDEZVOUS: "Mdiamond",
+    ActorKind.ALLOC_RULE: "hexagon",
+    ActorKind.ENQUEUE: "cds",
+    ActorKind.EXPAND: "trapezium",
+    ActorKind.LOAD: "box3d",
+    ActorKind.STORE: "box3d",
+}
+
+
+def to_dot(graph: Bdfg) -> str:
+    """Render the BDFG as Graphviz dot text."""
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=LR;"]
+    for actor in graph.actors.values():
+        shape = _SHAPES.get(actor.kind, "box")
+        label = actor.kind.value
+        if "label" in actor.params and actor.params["label"]:
+            label += f"\\n{actor.params['label']}"
+        if "region" in actor.params:
+            label += f"\\n{actor.params['region']}"
+        if "task_set" in actor.params:
+            label += f"\\n{actor.params['task_set']}"
+        lines.append(
+            f'  "{actor.name}" [shape={shape}, label="{label}"];'
+        )
+    for channel in graph.channels:
+        style = ' [label="false", style=dashed]' \
+            if channel.src_port == "false" else ""
+        lines.append(
+            f'  "{channel.src.name}" -> "{channel.dst.name}"{style};'
+        )
+    lines.append("}")
+    return "\n".join(lines)

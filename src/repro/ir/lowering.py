@@ -1,0 +1,149 @@
+"""Lowering: kernels + rules -> BDFG (Section 5.1).
+
+Task bodies and the condition/action parts of rules are transformed into
+dataflow actors, "with task queues (inferred from for-each/for-all
+constructs), rule constructors and rule rendezvous inserted as primitive
+operations in the graph".  Control flow becomes switch actors: a guard's
+false branch and a rendezvous' abort branch are epilogue chains ending in
+sinks, so the only control tokens are the booleans steering the switches —
+eliminating the centralized control unit of HLS-style designs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.kernel import (
+    AllocRule,
+    Alu,
+    Call,
+    Const,
+    Enqueue,
+    Expand,
+    Guard,
+    Kernel,
+    Label,
+    Load,
+    Op,
+    Rendezvous,
+    Store,
+)
+from repro.core.spec import ApplicationSpec
+from repro.errors import LoweringError
+from repro.ir.bdfg import Actor, ActorKind, Bdfg
+
+
+def lower_spec(spec: ApplicationSpec) -> Bdfg:
+    """Lower a full application: one pipeline chain per task set."""
+    graph = Bdfg(spec.name)
+    for task_set, kernel in spec.kernels.items():
+        lower_kernel(graph, kernel, prefix=task_set)
+    return graph
+
+
+def lower_kernel(graph: Bdfg, kernel: Kernel, prefix: str) -> Actor:
+    """Lower one kernel into ``graph``; returns its source actor."""
+    source = graph.add(
+        ActorKind.SOURCE, prefix, task_set=kernel.task_set
+    )
+    tail = _lower_chain(graph, kernel.ops, source, prefix)
+    _terminate(graph, tail, prefix)
+    return source
+
+
+def _terminate(graph: Bdfg, tail: Actor, prefix: str) -> None:
+    if tail.kind is not ActorKind.SINK:
+        sink = graph.add(ActorKind.SINK, prefix)
+        graph.connect(tail, sink)
+
+
+def _lower_chain(
+    graph: Bdfg, ops: Sequence[Op], head: Actor, prefix: str
+) -> Actor:
+    """Lower a straight-line op sequence; returns the chain's last actor."""
+    current = head
+    for op in ops:
+        current = _lower_op(graph, op, current, prefix)
+    return current
+
+
+def _lower_op(graph: Bdfg, op: Op, prev: Actor, prefix: str) -> Actor:
+    if isinstance(op, Const):
+        actor = graph.add(ActorKind.CONST, prefix, op=op, dst=op.dst)
+    elif isinstance(op, Alu):
+        actor = graph.add(ActorKind.ALU, prefix, op=op, dst=op.dst,
+                          latency=op.latency)
+    elif isinstance(op, Load):
+        actor = graph.add(ActorKind.LOAD, prefix, op=op, region=op.region,
+                          dst=op.dst)
+    elif isinstance(op, Store):
+        actor = graph.add(
+            ActorKind.STORE, prefix, op=op, region=op.region,
+            label=op.label, combining=op.combine is not None,
+        )
+    elif isinstance(op, Guard):
+        actor = graph.add(ActorKind.SWITCH, prefix, op=op)
+        graph.connect(prev, actor)
+        false_head = graph.add(ActorKind.SINK, prefix) if not op.else_ops \
+            else None
+        if false_head is not None:
+            graph.connect(actor, false_head, src_port="false")
+        else:
+            first, tail = _lower_branch(graph, op.else_ops, prefix)
+            graph.connect(actor, first, src_port="false")
+            _terminate(graph, tail, prefix)
+        return actor  # true continues from the switch's "out" port
+    elif isinstance(op, Expand):
+        actor = graph.add(ActorKind.EXPAND, prefix, op=op,
+                          per_item_cycles=op.per_item_cycles)
+    elif isinstance(op, AllocRule):
+        rule = op.rule_name if isinstance(op.rule_name, str) else "<dynamic>"
+        actor = graph.add(ActorKind.ALLOC_RULE, prefix, op=op, rule=rule)
+    elif isinstance(op, Rendezvous):
+        actor = graph.add(ActorKind.RENDEZVOUS, prefix, op=op,
+                          label=op.label)
+        graph.connect(prev, actor)
+        if op.abort_ops:
+            first, tail = _lower_branch(graph, op.abort_ops, prefix)
+            graph.connect(actor, first, src_port="false")
+            _terminate(graph, tail, prefix)
+        else:
+            sink = graph.add(ActorKind.SINK, prefix)
+            graph.connect(actor, sink, src_port="false")
+        return actor
+    elif isinstance(op, Enqueue):
+        actor = graph.add(ActorKind.ENQUEUE, prefix, op=op,
+                          task_set=op.task_set, guarded=op.when is not None)
+    elif isinstance(op, Call):
+        actor = graph.add(ActorKind.CALL, prefix, op=op, label=op.label)
+    elif isinstance(op, Label):
+        actor = graph.add(ActorKind.LABEL, prefix, op=op, label=op.label)
+    else:
+        raise LoweringError(f"cannot lower op {op!r}")
+    graph.connect(prev, actor)
+    return actor
+
+
+def _lower_branch(
+    graph: Bdfg, ops: Sequence[Op], prefix: str
+) -> tuple[Actor, Actor]:
+    """Lower an epilogue branch; returns (first actor, last actor)."""
+    if not ops:
+        raise LoweringError("empty branch should use a direct sink")
+    first = _lower_op_headless(graph, ops[0], prefix)
+    tail = _lower_chain(graph, ops[1:], first, prefix)
+    return first, tail
+
+
+def _lower_op_headless(graph: Bdfg, op: Op, prefix: str) -> Actor:
+    """Lower a branch's first op without a predecessor connection."""
+    marker = graph.add(ActorKind.LABEL, f"{prefix}.branchhead", op=None,
+                       label="")
+    actor = _lower_op(graph, op, marker, prefix)
+    # Remove the placeholder marker and its channel: the switch connects
+    # directly to the branch's first actor.
+    graph.channels = [
+        c for c in graph.channels if c.src is not marker and c.dst is not marker
+    ]
+    del graph.actors[marker.name]
+    return actor

@@ -1,0 +1,143 @@
+"""Verification passes over lowered BDFGs.
+
+Checks that the graph is well-formed before synthesis: reachability from a
+source, port discipline per actor kind, rendezvous/alloc pairing along every
+path, and acyclicity of each pipeline chain (recurrence flows through task
+queues, never through pipeline channels — that is what makes the datapath a
+feed-forward pipeline).
+"""
+
+from __future__ import annotations
+
+from repro.errors import LoweringError
+from repro.ir.bdfg import Actor, ActorKind, Bdfg
+
+# Output-port discipline: which ports each kind may drive.
+_ALLOWED_PORTS: dict[ActorKind, set[str]] = {
+    ActorKind.SOURCE: {"out"},
+    ActorKind.CONST: {"out"},
+    ActorKind.ALU: {"out"},
+    ActorKind.LOAD: {"out"},
+    ActorKind.STORE: {"out"},
+    ActorKind.SWITCH: {"out", "false"},
+    ActorKind.EXPAND: {"out"},
+    ActorKind.ALLOC_RULE: {"out"},
+    ActorKind.RENDEZVOUS: {"out", "false"},
+    ActorKind.ENQUEUE: {"out"},
+    ActorKind.CALL: {"out"},
+    ActorKind.LABEL: {"out"},
+    ActorKind.SINK: set(),
+}
+
+
+def check_graph(graph: Bdfg) -> None:
+    """Raise :class:`LoweringError` on any structural defect."""
+    if not graph.sources():
+        raise LoweringError(f"graph {graph.name!r} has no source actor")
+    _check_ports(graph)
+    _check_reachability(graph)
+    _check_termination(graph)
+    _check_acyclic(graph)
+    _check_rendezvous_pairing(graph)
+
+
+def _check_ports(graph: Bdfg) -> None:
+    for channel in graph.channels:
+        allowed = _ALLOWED_PORTS[channel.src.kind]
+        if channel.src_port not in allowed:
+            raise LoweringError(
+                f"{channel.src.name} drives illegal port "
+                f"{channel.src_port!r} (allowed: {sorted(allowed)})"
+            )
+    for actor in graph.actors.values():
+        out_ports = {c.src_port for c in graph.outgoing(actor)}
+        if actor.kind is ActorKind.SINK:
+            if out_ports:
+                raise LoweringError(f"sink {actor.name} has outputs")
+            continue
+        if "out" not in out_ports:
+            raise LoweringError(
+                f"{actor.name} ({actor.kind.value}) has no 'out' consumer"
+            )
+        if actor.kind in (ActorKind.SWITCH, ActorKind.RENDEZVOUS):
+            if "false" not in out_ports:
+                raise LoweringError(
+                    f"{actor.name} lacks a 'false' branch consumer"
+                )
+        for port in out_ports:
+            fanout = [
+                c for c in graph.outgoing(actor) if c.src_port == port
+            ]
+            if len(fanout) > 1:
+                raise LoweringError(
+                    f"{actor.name} port {port!r} fans out {len(fanout)} "
+                    "ways; insert explicit copy actors"
+                )
+
+
+def _check_reachability(graph: Bdfg) -> None:
+    reachable: set[str] = set()
+    for source in graph.sources():
+        for actor in graph.iter_reachable(source):
+            reachable.add(actor.name)
+    unreachable = set(graph.actors) - reachable
+    if unreachable:
+        raise LoweringError(
+            f"unreachable actors: {sorted(unreachable)}"
+        )
+
+
+def _check_termination(graph: Bdfg) -> None:
+    """Every path must end in a sink or an enqueue-terminated chain."""
+    for actor in graph.actors.values():
+        if actor.kind is ActorKind.SINK:
+            continue
+        if not graph.successors(actor):
+            raise LoweringError(
+                f"{actor.name} ({actor.kind.value}) dead-ends without a sink"
+            )
+
+
+def _check_acyclic(graph: Bdfg) -> None:
+    state: dict[str, int] = {}
+
+    def visit(actor: Actor) -> None:
+        state[actor.name] = 1
+        for succ in graph.successors(actor):
+            mark = state.get(succ.name, 0)
+            if mark == 1:
+                raise LoweringError(
+                    f"pipeline cycle through {succ.name}; recurrence must "
+                    "flow through task queues"
+                )
+            if mark == 0:
+                visit(succ)
+        state[actor.name] = 2
+
+    for source in graph.sources():
+        if state.get(source.name, 0) == 0:
+            visit(source)
+
+
+def _check_rendezvous_pairing(graph: Bdfg) -> None:
+    """Along every source->rendezvous path, allocs >= rendezvous met."""
+    for source in graph.sources():
+        _walk_pairing(graph, source, 0, set())
+
+
+def _walk_pairing(
+    graph: Bdfg, actor: Actor, pending: int, seen: set[str]
+) -> None:
+    if actor.name in seen:
+        return
+    seen.add(actor.name)
+    if actor.kind is ActorKind.ALLOC_RULE:
+        pending += 1
+    elif actor.kind is ActorKind.RENDEZVOUS:
+        if pending <= 0:
+            raise LoweringError(
+                f"{actor.name}: rendezvous with no pending rule allocation"
+            )
+        pending -= 1
+    for succ in graph.successors(actor):
+        _walk_pairing(graph, succ, pending, seen)

@@ -1,0 +1,14 @@
+"""Cycle-level simulator of the synthesized accelerator (Figures 7 and 8).
+
+This package plays the role the HARP board plays in the paper (plus the
+authors' bandwidth-scalable software emulator behind Figure 10): it executes
+a synthesized datapath cycle by cycle — multi-bank task queues feeding
+replicated task pipelines, rule engines squashing and forwarding tokens, an
+out-of-order load/store layer over a 64 KB cache, and a QPI channel with
+parameterizable bandwidth.  The simulation is *functional*: it computes the
+application's real answer, which is verified against the sequential oracle.
+"""
+
+from repro.sim.accelerator import AcceleratorSim, SimResult, simulate_app
+
+__all__ = ["AcceleratorSim", "SimResult", "simulate_app"]

@@ -1,0 +1,272 @@
+"""Top-level accelerator simulation: Figure 7 assembled and clocked.
+
+Builds every component from an :class:`ApplicationSpec` and a synthesized
+:class:`Datapath`, runs the cycle loop to completion, verifies the
+functional result against the application's oracle, and reports cycles,
+utilization, squash rates and memory statistics.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.events import Event, EventKind
+from repro.core.indexing import TaskIndex
+from repro.core.spec import ApplicationSpec
+from repro.errors import DeadlockError, SimulationError
+from repro.eval.platforms import HARP, HarpPlatform
+from repro.sim.host import HostAdapter
+from repro.sim.live import LiveIndexTracker
+from repro.sim.memory import MemorySystem
+from repro.sim.pipeline import PipelineInstance
+from repro.sim.rule_engine import RuleEngineSim
+from repro.sim.stats import SimStats
+from repro.sim.taskqueue import MultiBankTaskQueue
+from repro.sim.token import SimToken
+from repro.synthesis.datapath import Datapath, build_datapath
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Microarchitectural knobs (ablation levers)."""
+
+    out_of_order: bool = True      # Section 5.2's dynamic dataflow reordering
+    station_depth: int = 8
+    fifo_depth: int = 4
+    queue_banks: int = 4
+    queue_depth_per_bank: int = 4096
+    rule_lanes: int = 32
+    # Next-line prefetch on load misses (extension; off = paper baseline).
+    prefetch: bool = False
+    # Computing the minimum waiting index across all pipelines is a
+    # comparator-tree reduction plus a broadcast — a multi-cycle path in
+    # hardware (Figure 8(c)(4)), modelled as a refresh interval.
+    minimum_broadcast_interval: int = 4
+    max_cycles: int = 30_000_000
+    deadlock_window: int = 200_000
+
+
+@dataclass
+class SimResult:
+    """Outcome of one accelerator run."""
+
+    app: str
+    cycles: int
+    seconds: float
+    stats: SimStats
+    memory_bytes: int
+    memory_loads: int
+    memory_hit_rate: float
+    utilization: float
+    squash_fraction: float
+    bandwidth_scale: float
+
+
+class AcceleratorSim:
+    """The simulation context plus the cycle loop."""
+
+    def __init__(
+        self,
+        spec: ApplicationSpec,
+        datapath: Datapath | None = None,
+        platform: HarpPlatform = HARP,
+        config: SimConfig = SimConfig(),
+        replicas: dict[str, int] | None = None,
+        tracer=None,
+    ) -> None:
+        self.spec = spec
+        self.platform = platform
+        self.config = config
+        self.tracer = tracer
+        self.cycle = 0
+        self.stats = SimStats()
+        self.state = spec.make_state()
+        self.minter = spec.make_loop_nest()
+        self.tracker = LiveIndexTracker()
+        self.memory = MemorySystem(platform, prefetch=config.prefetch)
+        self.active_stages_this_cycle = 0
+
+        if datapath is None:
+            datapath = build_datapath(
+                spec,
+                replicas=replicas or {name: 2 for name in spec.task_sets},
+                rule_lanes=config.rule_lanes,
+                queue_banks=config.queue_banks,
+                station_depth=config.station_depth,
+            )
+        self.datapath = datapath
+
+        self.queues: dict[str, MultiBankTaskQueue] = {
+            name: MultiBankTaskQueue(
+                name, config.queue_banks, config.queue_depth_per_bank,
+                pop_policy=(
+                    "priority" if name in spec.priority_fields else "fifo"
+                ),
+            )
+            for name in spec.task_sets
+        }
+        # Ordered admission: a credit counter between each queue and its
+        # pipelines caps in-flight tasks at the rule-lane count, so the
+        # minimum task can always reach its rendezvous (the hardware
+        # equivalent of a deterministic-reservation window).
+        self.admission_credits: dict[str, int] | None = (
+            {name: config.rule_lanes for name in spec.task_sets}
+            if spec.ordered_admission else None
+        )
+        self.engines: dict[str, RuleEngineSim] = {
+            name: RuleEngineSim(name, rule_type, config.rule_lanes)
+            for name, rule_type in spec.rules.items()
+        }
+        self.pipelines: list[PipelineInstance] = []
+        for task_set, program in datapath.programs.items():
+            for replica in range(datapath.replicas[task_set]):
+                self.pipelines.append(
+                    PipelineInstance(self, program, replica)
+                )
+        self.stats.total_stages = sum(
+            p.stage_count() for p in self.pipelines
+        )
+        self.host = HostAdapter(self, spec)
+        self._event_heap: list[tuple[int, int, Event, int]] = []
+        self._event_seq = 0
+        self._last_progress_cycle = 0
+
+    # -- services stages call ---------------------------------------------------
+
+    def activate(
+        self, task_set: str, fields: dict[str, Any],
+        parent: TaskIndex | None,
+    ) -> None:
+        """Mint an index, register liveness, enqueue, broadcast ACTIVATE."""
+        index = self.minter.mint(task_set, fields, parent)
+        handle = self.tracker.register(index)
+        self.queues[task_set].push(index, fields, handle)
+        self.stats.tasks_activated += 1
+        self.emit_at(
+            self.cycle + 1,
+            Event(EventKind.ACTIVATE, task_set, "", index, dict(fields)),
+            source_uid=-1,
+        )
+
+    def retire(self, token: SimToken, outcome: str) -> None:
+        """Token leaves the datapath: free liveness and leftover lanes."""
+        if outcome == "commit":
+            self.stats.commits += 1
+        for engine, instance in token.lanes:
+            engine.release(instance)
+        token.lanes.clear()
+        if token.live_handle >= 0:
+            self.tracker.release(token.live_handle)
+            token.live_handle = -1
+        if self.admission_credits is not None and token.task_uid == token.uid:
+            # Only the root token of a task returns the admission credit
+            # (Expand siblings share their parent's).
+            self.admission_credits[token.task_set] += 1
+
+    def emit_at(self, when: int, event: Event, source_uid: int) -> None:
+        heapq.heappush(
+            self._event_heap, (when, self._event_seq, event, source_uid)
+        )
+        self._event_seq += 1
+
+    # -- cycle loop ------------------------------------------------------------
+
+    def _deliver_events(self) -> None:
+        while self._event_heap and self._event_heap[0][0] <= self.cycle:
+            _, _, event, source_uid = heapq.heappop(self._event_heap)
+            self.stats.events_delivered += 1
+            for engine in self.engines.values():
+                engine.deliver(event, source_uid)
+
+    def _work_remaining(self) -> bool:
+        if any(len(q) for q in self.queues.values()):
+            return True
+        if any(p.busy() for p in self.pipelines):
+            return True
+        if self.host.busy() or not self.host.exhausted:
+            return True
+        if self._event_heap:
+            return True
+        return False
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        self.active_stages_this_cycle = 0
+        self._deliver_events()
+        self.host.tick()
+        for pipeline in self.pipelines:
+            pipeline.tick()
+        if self.cycle % self.config.minimum_broadcast_interval == 0:
+            if self.spec.otherwise_scope == "global":
+                minimum = self.tracker.minimum()
+                for engine in self.engines.values():
+                    engine.broadcast_minimum(minimum)
+            else:
+                # Lane scope (Figure 8): each engine broadcasts the minimum
+                # parent index over its own allocated lanes.
+                for engine in self.engines.values():
+                    engine.broadcast_minimum(engine.min_allocated_index())
+        for pipeline in self.pipelines:
+            pipeline.commit_fifos()
+        self.stats.active_stage_cycles += self.active_stages_this_cycle
+        if self.active_stages_this_cycle or self.memory.pending(self.cycle):
+            self._last_progress_cycle = self.cycle
+        self.cycle += 1
+        self.stats.cycles = self.cycle
+
+    def run(self, verify: bool = True) -> SimResult:
+        """Clock the accelerator until all work drains; verify the answer."""
+        self.host.start()
+        while self._work_remaining():
+            self.step()
+            if self.cycle >= self.config.max_cycles:
+                raise SimulationError(
+                    f"{self.spec.name}: exceeded {self.config.max_cycles} "
+                    "cycles"
+                )
+            if (
+                self.cycle - self._last_progress_cycle
+                > self.config.deadlock_window
+            ):
+                report = []
+                for pipeline in self.pipelines:
+                    report.extend(pipeline.stuck_report())
+                raise DeadlockError(self.cycle, "; ".join(report[:8]))
+        for pipeline in self.pipelines:
+            for stage in pipeline.stages:
+                self.stats.per_stage_active[stage.name] = \
+                    stage.active_cycles
+                self.stats.per_stage_stalls[stage.name] = \
+                    stage.stall_cycles
+        if verify:
+            self.spec.verify(self.state)
+        mem = self.memory.stats
+        hit_rate = mem.load_hits / mem.loads if mem.loads else 0.0
+        return SimResult(
+            app=self.spec.name,
+            cycles=self.cycle,
+            seconds=self.cycle / self.platform.clock_hz,
+            stats=self.stats,
+            memory_bytes=mem.bytes_transferred,
+            memory_loads=mem.loads,
+            memory_hit_rate=hit_rate,
+            utilization=self.stats.pipeline_utilization,
+            squash_fraction=self.stats.squash_fraction,
+            bandwidth_scale=self.platform.bandwidth_scale,
+        )
+
+
+def simulate_app(
+    spec: ApplicationSpec,
+    platform: HarpPlatform = HARP,
+    config: SimConfig = SimConfig(),
+    replicas: dict[str, int] | None = None,
+    verify: bool = True,
+) -> SimResult:
+    """Convenience wrapper: build, run, verify, report."""
+    sim = AcceleratorSim(
+        spec, platform=platform, config=config, replicas=replicas
+    )
+    return sim.run(verify=verify)

@@ -1,0 +1,100 @@
+"""Host-side task injection.
+
+For DMR and COOR-LU the host processor streams the initial task list into
+the accelerator's queues incrementally (Section 6.1).  Each batch crosses
+the QPI channel as a DMA transfer before it can be enqueued, so the feed
+rate — and with it these applications' end-to-end speedup — scales with the
+channel bandwidth, which is exactly the linear correlation Figure 10 shows
+for SPEC-DMR and COOR-LU.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.indexing import TaskIndex
+from repro.core.spec import ApplicationSpec, SeedTask
+
+
+class HostAdapter:
+    """Feeds seed tasks and host batches into the simulated accelerator."""
+
+    def __init__(self, ctx, spec: ApplicationSpec) -> None:
+        self.ctx = ctx
+        self.spec = spec
+        self._batches: Iterator[list[SeedTask]] | None = None
+        self._pending: list[SeedTask] | None = None
+        self._transfer_req: int | None = None
+        self._exhausted = spec.host_feed is None
+        self.batches_sent = 0
+        if spec.host_feed is not None:
+            self._batches = spec.host_feed.batches(ctx.state)
+
+    def start(self) -> None:
+        """Seed the initial tasks (free: they are enqueued before t=0)."""
+        for task_set, fields in self.spec.initial_tasks(self.ctx.state):
+            self.ctx.activate(task_set, dict(fields), parent=None)
+        self._advance_batch()
+
+    def _advance_batch(self) -> None:
+        if self._batches is None:
+            self._update_horizon()
+            return
+        self._pending = next(self._batches, None)
+        if self._pending is None:
+            self._batches = None
+            self._exhausted = True
+            self._update_horizon()
+            return
+        nbytes = len(self._pending) * self.spec.host_feed.bytes_per_task
+        self._transfer_req = self.ctx.memory.issue_stream(
+            self.ctx.cycle, nbytes
+        )
+        self._update_horizon()
+
+    def _update_horizon(self) -> None:
+        """Hold the live minimum down at the next un-injected task's index.
+
+        Only computable for priority-indexed single-loop task sets (COOR-LU's
+        seq field); counter-indexed feeds always mint indices larger than
+        anything already live, so no horizon is needed there.
+        """
+        tracker = self.ctx.tracker
+        if not self._pending:
+            tracker.horizon = None
+            return
+        task_set, fields = self._pending[0]
+        priority_field = self.spec.priority_fields.get(task_set)
+        if priority_field is not None and self.ctx.minter.width == 1:
+            tracker.horizon = TaskIndex((int(fields[priority_field]),))
+        else:
+            tracker.horizon = None
+
+    def tick(self) -> None:
+        if self._pending is None:
+            return
+        ctx = self.ctx
+        if self._transfer_req is not None:
+            if not ctx.memory.ready(ctx.cycle, self._transfer_req):
+                return
+            ctx.memory.retire(self._transfer_req)
+            self._transfer_req = None
+        # Inject when every target queue has room for its share.
+        needed: dict[str, int] = {}
+        for task_set, _fields in self._pending:
+            needed[task_set] = needed.get(task_set, 0) + 1
+        for task_set, count in needed.items():
+            if not ctx.queues[task_set].can_push(count):
+                return
+        for task_set, fields in self._pending:
+            ctx.activate(task_set, dict(fields), parent=None)
+        self.batches_sent += 1
+        self._pending = None
+        self._advance_batch()
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted and self._pending is None
+
+    def busy(self) -> bool:
+        return self._pending is not None

@@ -1,0 +1,68 @@
+"""Global live-index tracking.
+
+The otherwise clause fires for a waiting rule when its parent task is the
+minimum of *all live tasks* — active in queues, flowing through pipelines,
+or waiting at rendezvous.  The tracker maintains that minimum with a lazy
+heap; tokens register on activation and deregister on retirement, with a
+reference count so Expand-forked siblings share one registration.
+
+``horizon`` covers host-fed applications: tasks the host has not yet
+injected but whose well-order position is already known (COOR-LU streams a
+priority-indexed task list) must hold the minimum down, otherwise a queued
+later task could be released before its not-yet-arrived predecessors.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.core.indexing import TaskIndex
+from repro.errors import SimulationError
+
+
+class LiveIndexTracker:
+    """Min-tracking multiset of task indices with refcounted handles."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[tuple, int]] = []
+        self._refs: dict[int, tuple[TaskIndex, int]] = {}
+        self._handles = itertools.count()
+        self.horizon: TaskIndex | None = None
+
+    def register(self, index: TaskIndex) -> int:
+        handle = next(self._handles)
+        self._refs[handle] = (index, 1)
+        heapq.heappush(self._heap, (index.positions, handle))
+        return handle
+
+    def retain(self, handle: int, count: int = 1) -> None:
+        index, refs = self._refs[handle]
+        self._refs[handle] = (index, refs + count)
+
+    def release(self, handle: int) -> None:
+        if handle not in self._refs:
+            raise SimulationError(f"release of unknown live handle {handle}")
+        index, refs = self._refs[handle]
+        if refs <= 1:
+            del self._refs[handle]
+        else:
+            self._refs[handle] = (index, refs - 1)
+
+    @property
+    def count(self) -> int:
+        return len(self._refs)
+
+    def minimum(self) -> TaskIndex | None:
+        """Current minimum live index (including the host horizon)."""
+        live_min: TaskIndex | None = None
+        while self._heap:
+            positions, handle = self._heap[0]
+            if handle in self._refs:
+                live_min = self._refs[handle][0]
+                break
+            heapq.heappop(self._heap)
+        if self.horizon is not None:
+            if live_min is None or self.horizon.earlier_than(live_min):
+                return self.horizon
+        return live_min

@@ -1,0 +1,186 @@
+"""The generic memory subsystem: 64 KB FPGA cache + QPI channel.
+
+Models the problem-independent memory system of Section 5.2 with the
+latencies of Choi et al. [14]: a direct read hit costs 14 FPGA cycles
+(70 ns), a miss adds the QPI round trip (~200 ns) plus queueing behind the
+~7 GB/s shared-memory channel.  Bulk transfers (CSR row streams, host task
+batches, block operands — the Expand/Call/host traffic) go through the same
+channel, so everything competes for the bandwidth Figure 10 sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.eval.platforms import HarpPlatform
+from repro.errors import SimulationError
+
+
+@dataclass
+class MemoryStats:
+    loads: int = 0
+    load_hits: int = 0
+    stores: int = 0
+    streams: int = 0
+    prefetches: int = 0
+    bytes_transferred: int = 0
+    channel_busy_cycles: int = 0
+
+
+class QpiChannel:
+    """A serialized transfer channel with latency and finite bandwidth."""
+
+    def __init__(self, platform: HarpPlatform, latency_cycles: int) -> None:
+        self.bytes_per_cycle = platform.qpi_bytes_per_cycle
+        self.latency = latency_cycles
+        self._free_at = 0
+        self.busy_cycles = 0
+
+    def transfer(self, now: int, nbytes: int) -> int:
+        """Schedule a transfer; returns its completion cycle."""
+        if nbytes <= 0:
+            return now
+        start = max(now, self._free_at)
+        duration = max(1, round(nbytes / self.bytes_per_cycle))
+        self._free_at = start + duration
+        self.busy_cycles += duration
+        return start + duration + self.latency
+
+    def idle_at(self, now: int) -> bool:
+        return self._free_at <= now
+
+
+class Cache:
+    """Set-associative cache with LRU replacement (tags only).
+
+    Tracks hit/miss per line address; data correctness is handled by the
+    functional MemorySpace, so the cache models timing alone.
+    """
+
+    def __init__(self, capacity_bytes: int, line_bytes: int, ways: int) -> None:
+        if capacity_bytes % (line_bytes * ways) != 0:
+            raise SimulationError("cache geometry does not divide evenly")
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = capacity_bytes // (line_bytes * ways)
+        # Per set: list of tags in LRU order (front = LRU).
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+
+    def _locate(self, addr: int) -> tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line
+
+    def access(self, addr: int, allocate: bool = True) -> bool:
+        """Touch ``addr``; returns True on hit."""
+        set_idx, tag = self._locate(addr)
+        ways = self._sets[set_idx]
+        if tag in ways:
+            ways.remove(tag)
+            ways.append(tag)
+            return True
+        if allocate:
+            if len(ways) >= self.ways:
+                ways.pop(0)
+            ways.append(tag)
+        return False
+
+
+@dataclass
+class _Request:
+    done_at: int
+    nbytes: int
+
+
+class MemorySystem:
+    """Front end the load/store units and DMA engines talk to.
+
+    ``prefetch`` enables a simple next-line prefetcher on load misses — a
+    problem-independent stand-in for the aggressive data movement the paper
+    leaves to future work ("Handcrafted accelerators handle data transfer
+    aggressively by prefetching or preprocessing in problem-specific
+    ways").  Prefetches consume channel bandwidth like any other transfer.
+    """
+
+    def __init__(self, platform: HarpPlatform, prefetch: bool = False
+                 ) -> None:
+        self.platform = platform
+        self.prefetch = prefetch
+        self.cache = Cache(
+            platform.cache_bytes, platform.cache_line_bytes,
+            platform.cache_ways,
+        )
+        self.channel = QpiChannel(platform, platform.miss_extra_cycles)
+        self.stats = MemoryStats()
+        self._outstanding: dict[int, _Request] = {}
+        self._next_id = 0
+
+    # -- issue ---------------------------------------------------------------
+
+    def _track(self, done_at: int, nbytes: int) -> int:
+        req_id = self._next_id
+        self._next_id += 1
+        self._outstanding[req_id] = _Request(done_at, nbytes)
+        return req_id
+
+    def issue_load(self, now: int, addr: int, nbytes: int = 8) -> int:
+        """A pipeline load; returns a request id."""
+        self.stats.loads += 1
+        line = self.platform.cache_line_bytes
+        if self.cache.access(addr):
+            self.stats.load_hits += 1
+            done = now + self.platform.cache_hit_cycles
+        else:
+            done = self.channel.transfer(now, line) + \
+                self.platform.cache_hit_cycles
+            self.stats.bytes_transferred += line
+            if self.prefetch:
+                next_line = (addr // line + 1) * line
+                if not self.cache.access(next_line, allocate=False):
+                    self.cache.access(next_line)  # install
+                    self.channel.transfer(now, line)
+                    self.stats.bytes_transferred += line
+                    self.stats.prefetches += 1
+        return self._track(done, nbytes)
+
+    def issue_store(self, now: int, addr: int, nbytes: int = 8) -> None:
+        """A commit-unit store (write-through, posted — no tracking)."""
+        self.stats.stores += 1
+        hit = self.cache.access(addr)
+        if not hit:
+            # The posted write still crosses the channel.
+            self.channel.transfer(now, nbytes)
+            self.stats.bytes_transferred += nbytes
+
+    def issue_stream(self, now: int, nbytes: int) -> int:
+        """A bulk sequential transfer (CSR row, host batch, block operand)."""
+        self.stats.streams += 1
+        if nbytes <= 0:
+            return self._track(now + 1, 0)
+        done = self.channel.transfer(now, nbytes)
+        self.stats.bytes_transferred += nbytes
+        return self._track(done, nbytes)
+
+    # -- completion ------------------------------------------------------------
+
+    def ready(self, now: int, req_id: int) -> bool:
+        request = self._outstanding.get(req_id)
+        if request is None:
+            raise SimulationError(f"unknown memory request {req_id}")
+        return request.done_at <= now
+
+    def done_at(self, req_id: int) -> int:
+        return self._outstanding[req_id].done_at
+
+    def retire(self, req_id: int) -> None:
+        del self._outstanding[req_id]
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._outstanding)
+
+    def pending(self, now: int) -> bool:
+        """True while any outstanding request has not yet completed."""
+        return any(r.done_at > now for r in self._outstanding.values())
+
+    def quiescent(self, now: int) -> bool:
+        return all(r.done_at <= now for r in self._outstanding.values())

@@ -1,0 +1,116 @@
+"""Simulated rule engines (Figure 8).
+
+One engine per rule type: a lane allocator (AllocRule stalls its pipeline
+when no lane is free), lanes executing the compiled ECA clauses against
+events broadcast on the event bus, a return buffer the rendezvous stages
+poll, and the minimum-live-index broadcast that triggers otherwise clauses
+for lanes whose parent is the (tied-)minimum waiting task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.events import Event
+from repro.core.indexing import TaskIndex
+from repro.core.rule import RuleInstance, RuleType, RuleVerdict
+
+
+@dataclass
+class RuleEngineStats:
+    allocations: int = 0
+    alloc_stalls: int = 0
+    otherwise_fired: int = 0
+    clause_fired: int = 0
+    requires_fired: int = 0
+    peak_occupancy: int = 0
+
+
+@dataclass
+class _Lane:
+    instance: RuleInstance
+    owner_uid: int
+    awaited: bool = False
+
+
+class RuleEngineSim:
+    """One rule engine with a fixed number of lanes."""
+
+    def __init__(self, name: str, rule_type: RuleType, lanes: int) -> None:
+        self.name = name
+        self.rule_type = rule_type
+        self.max_lanes = lanes
+        self.lanes: dict[int, _Lane] = {}  # keyed by id(instance)
+        self.stats = RuleEngineStats()
+
+    # -- allocation ---------------------------------------------------------
+
+    def try_alloc(
+        self,
+        parent_index: TaskIndex,
+        args: Mapping[str, Any],
+        owner_uid: int,
+    ) -> RuleInstance | None:
+        """Allocate a lane; None when the engine is full (pipeline stalls)."""
+        if len(self.lanes) >= self.max_lanes:
+            self.stats.alloc_stalls += 1
+            return None
+        instance = self.rule_type.instantiate(parent_index, args)
+        self.lanes[id(instance)] = _Lane(instance, owner_uid)
+        self.stats.allocations += 1
+        self.stats.peak_occupancy = max(
+            self.stats.peak_occupancy, len(self.lanes)
+        )
+        return instance
+
+    def mark_awaited(self, instance: RuleInstance) -> None:
+        """The parent token reached its rendezvous (otherwise now armed)."""
+        lane = self.lanes.get(id(instance))
+        if lane is not None:
+            lane.awaited = True
+
+    def release(self, instance: RuleInstance) -> None:
+        """The rendezvous consumed the verdict; free the lane."""
+        lane = self.lanes.pop(id(instance), None)
+        if lane is None:
+            return
+        if instance.verdict is RuleVerdict.OTHERWISE:
+            self.stats.otherwise_fired += 1
+        elif instance.verdict is RuleVerdict.REQUIRES:
+            self.stats.requires_fired += 1
+        elif instance.verdict is RuleVerdict.CLAUSE:
+            self.stats.clause_fired += 1
+
+    # -- event bus ------------------------------------------------------------
+
+    def deliver(self, event: Event, source_uid: int) -> None:
+        """Broadcast one event to every lane (skipping the source's own)."""
+        for lane in self.lanes.values():
+            if lane.owner_uid == source_uid:
+                continue
+            if not lane.instance.returned:
+                lane.instance.observe(event)
+
+    def min_allocated_index(self) -> TaskIndex | None:
+        """Minimum parent index over this engine's allocated lanes.
+
+        This is the "minimum task index at this rendezvous across all
+        pipelines" broadcast of Figure 8(c)(4): lane-scoped, so a full
+        engine always releases its earliest waiter (deadlock freedom).
+        """
+        indices = [lane.instance.parent_index for lane in self.lanes.values()]
+        return min(indices) if indices else None
+
+    def broadcast_minimum(self, min_live: TaskIndex | None) -> None:
+        """Fire otherwise for awaited lanes whose parent ties the minimum."""
+        for lane in self.lanes.values():
+            if not lane.awaited or lane.instance.returned:
+                continue
+            parent = lane.instance.parent_index
+            if min_live is None or not min_live.earlier_than(parent):
+                lane.instance.trigger_otherwise()
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.lanes)

@@ -1,0 +1,482 @@
+"""Pipeline stage machinery: one simulated module per BDFG actor.
+
+Stages process at most one token per cycle (the templates' initiation
+interval), communicate through registered FIFOs, and stall on backpressure.
+The two out-of-order kinds — load units and rendezvous — hold tokens in
+small matching stations and release completions in any order, so blocked
+tasks are bypassed (the dynamic dataflow reordering of Section 5.2).
+Everything else is in-order with frugal dual-port FIFO interfaces.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.events import Event, EventKind
+from repro.core.kernel import (
+    AllocRule,
+    Alu,
+    Call,
+    Const,
+    Enqueue,
+    Expand,
+    Guard,
+    Label,
+    Load,
+    Rendezvous,
+    Store,
+)
+from repro.errors import SimulationError
+from repro.sim.fifo import Fifo
+from repro.sim.token import SimToken
+
+
+def _value(spec: Callable | int, env: dict[str, Any]) -> int:
+    return spec(env) if callable(spec) else spec
+
+
+class Stage:
+    """Base simulated pipeline stage."""
+
+    def __init__(self, ctx, op, name: str) -> None:
+        self.ctx = ctx
+        self.op = op
+        self.name = name
+        self.input: Fifo[SimToken] = Fifo(
+            capacity=ctx.config.fifo_depth, name=f"{name}.in"
+        )
+        self.output: Fifo[SimToken] | None = None  # wired by the pipeline
+        self.on_retire: str = "commit"             # outcome at chain end
+        self.active_cycles = 0
+        self.stall_cycles = 0
+
+    # -- wiring ----------------------------------------------------------------
+
+    def send(self, token: SimToken) -> None:
+        if self.output is not None:
+            self.output.push(token)
+        else:
+            self.ctx.retire(token, self.on_retire)
+
+    def can_send(self) -> bool:
+        return self.output is None or self.output.can_push()
+
+    # -- per-cycle -----------------------------------------------------------
+
+    def tick(self) -> None:
+        """Default in-order single-cycle behaviour."""
+        if self.input.visible == 0:
+            return
+        if not self.can_send():
+            self.stall_cycles += 1
+            return
+        token = self.input.pop()
+        self.process(token)
+        self.mark_active()
+
+    def process(self, token: SimToken) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def mark_active(self) -> None:
+        self.active_cycles += 1
+        self.ctx.active_stages_this_cycle += 1
+        if self.ctx.tracer is not None:
+            self.ctx.tracer.record(self.ctx.cycle, self.name)
+
+    def busy(self) -> bool:
+        return len(self.input) > 0
+
+    def drain_tokens(self) -> list[SimToken]:
+        """Diagnostics: tokens stuck in this stage."""
+        return self.input.drain()
+
+
+class ConstStage(Stage):
+    def process(self, token: SimToken) -> None:
+        op: Const = self.op
+        token.env[op.dst] = op.value
+        self.send(token)
+
+
+class AluStage(Stage):
+    def process(self, token: SimToken) -> None:
+        op: Alu = self.op
+        token.env[op.dst] = op.fn(token.env)
+        self.send(token)
+
+
+class LabelStage(Stage):
+    def process(self, token: SimToken) -> None:
+        op: Label = self.op
+        payload = (
+            {name: token.env[name] for name in op.payload}
+            if op.payload else dict(token.env)
+        )
+        self.ctx.emit_at(
+            self.ctx.cycle + 1,
+            Event(EventKind.REACH, token.task_set, op.label, token.index,
+                  payload),
+            token.task_uid,
+        )
+        self.send(token)
+
+
+class LoadStage(Stage):
+    """Out-of-order load unit: a station of in-flight cache requests."""
+
+    def __init__(self, ctx, op, name: str) -> None:
+        super().__init__(ctx, op, name)
+        self.station: list[tuple[SimToken, int]] = []
+        self.depth = ctx.config.station_depth
+        self.in_order = not ctx.config.out_of_order
+
+    def tick(self) -> None:
+        ctx = self.ctx
+        # 1) release one completed request (head-only when in-order).
+        if self.station and self.can_send():
+            candidates = self.station[:1] if self.in_order else self.station
+            for entry in candidates:
+                token, req = entry
+                if ctx.memory.ready(ctx.cycle, req):
+                    op: Load = self.op
+                    token.env[op.dst] = ctx.state.load(
+                        op.region, op.addr(token.env)
+                    )
+                    ctx.memory.retire(req)
+                    self.station.remove(entry)
+                    self.send(token)
+                    self.mark_active()
+                    break
+        # 2) issue one new request.
+        if self.input.visible and len(self.station) < self.depth:
+            token = self.input.pop()
+            op = self.op
+            addr = self.ctx.state.address(op.region, op.addr(token.env))
+            req = ctx.memory.issue_load(ctx.cycle, addr)
+            self.station.append((token, req))
+        elif self.input.visible:
+            self.stall_cycles += 1
+
+    def busy(self) -> bool:
+        return bool(self.station) or len(self.input) > 0
+
+
+class StoreStage(Stage):
+    """Commit unit: functional write-through plus event broadcast."""
+
+    def process(self, token: SimToken) -> None:
+        op: Store = self.op
+        ctx = self.ctx
+        env = token.env
+        addr_idx = op.addr(env)
+        value = op.value(env)
+        if op.combine is not None or op.dst:
+            old = ctx.state.load(op.region, addr_idx)
+            if op.dst:
+                env[op.dst] = old
+            if op.combine is not None:
+                value = op.combine(old, value)
+        ctx.state.store(op.region, addr_idx, value)
+        flat = ctx.state.address(op.region, addr_idx)
+        ctx.memory.issue_store(ctx.cycle, flat)
+        payload = {"addr": flat, "value": value}
+        for name in op.extra_payload:
+            payload[name] = env[name]
+        ctx.emit_at(
+            ctx.cycle + 2,
+            Event(EventKind.REACH, token.task_set,
+                  op.label or op.region, token.index, payload),
+            token.task_uid,
+        )
+        self.send(token)
+
+
+class SwitchStage(Stage):
+    """Guard steering: predicate true continues, false takes the epilogue."""
+
+    def __init__(self, ctx, op, name: str) -> None:
+        super().__init__(ctx, op, name)
+        self.epilogue_entry: Fifo[SimToken] | None = None
+
+    def tick(self) -> None:
+        if self.input.visible == 0:
+            return
+        token = self.input.peek()
+        op: Guard = self.op
+        taken = bool(op.pred(token.env))
+        if taken:
+            if not self.can_send():
+                self.stall_cycles += 1
+                return
+            self.input.pop()
+            self.send(token)
+        else:
+            if self.epilogue_entry is not None:
+                if not self.epilogue_entry.can_push():
+                    self.stall_cycles += 1
+                    return
+                self.input.pop()
+                self.ctx.stats.guard_drops += 1
+                self.epilogue_entry.push(token)
+            else:
+                self.input.pop()
+                self.ctx.stats.guard_drops += 1
+                self.ctx.retire(token, "drop")
+        self.mark_active()
+
+
+class ExpandStage(Stage):
+    """Dynamic-rate expansion with overlapped row fetches.
+
+    Several expansions stream their rows concurrently (a small fetch
+    station, like the load units); children are emitted in arrival order,
+    one per cycle, from the head expansion once its stream has landed.
+    """
+
+    def __init__(self, ctx, op, name: str) -> None:
+        super().__init__(ctx, op, name)
+        # FIFO of in-flight expansions:
+        # [token, items, emitted, stream_req or None]
+        self._inflight: list[list] = []
+        self.depth = ctx.config.station_depth
+
+    def tick(self) -> None:
+        ctx = self.ctx
+        op: Expand = self.op
+        # 1) emit one child from the head expansion.
+        if self._inflight:
+            entry = self._inflight[0]
+            token, items, emitted, stream_req = entry
+            if stream_req is not None and \
+                    ctx.memory.ready(ctx.cycle, stream_req):
+                ctx.memory.retire(stream_req)
+                entry[3] = stream_req = None
+            if stream_req is None:
+                if self.can_send():
+                    child = token.fork(items[emitted])
+                    entry[2] += 1
+                    self.send(child)
+                    self.mark_active()
+                    if entry[2] >= len(items):
+                        self._inflight.pop(0)
+                else:
+                    self.stall_cycles += 1
+        # 2) accept one new expansion (issue its row fetch).
+        if self.input.visible and len(self._inflight) < self.depth:
+            token = self.input.pop()
+            items = list(op.items(token.env, ctx.state))
+            if not items:
+                ctx.retire(token, "commit")
+                self.mark_active()
+                return
+            if len(items) > 1:
+                ctx.tracker.retain(token.live_handle, len(items) - 1)
+            traffic = op.traffic(token.env, ctx.state) if op.traffic else 0
+            stream_req = (
+                ctx.memory.issue_stream(ctx.cycle, traffic)
+                if traffic else None
+            )
+            self._inflight.append([token, items, 0, stream_req])
+        elif self.input.visible:
+            self.stall_cycles += 1
+
+    def busy(self) -> bool:
+        return bool(self._inflight) or len(self.input) > 0
+
+
+class AllocRuleStage(Stage):
+    """Rule-lane allocation; stalls the pipeline while the engine is full."""
+
+    def tick(self) -> None:
+        if self.input.visible == 0:
+            return
+        if not self.can_send():
+            self.stall_cycles += 1
+            return
+        token = self.input.peek()
+        op: AllocRule = self.op
+        engine = self.ctx.engines[op.resolve(token.env)]
+        instance = engine.try_alloc(
+            token.index, dict(op.args(token.env)), token.task_uid
+        )
+        if instance is None:
+            self.stall_cycles += 1
+            return
+        self.input.pop()
+        token.lanes.append((engine, instance))
+        self.send(token)
+        self.mark_active()
+
+
+class RendezvousStage(Stage):
+    """Out-of-order rendezvous: tokens wait for verdicts in a station."""
+
+    def __init__(self, ctx, op, name: str) -> None:
+        super().__init__(ctx, op, name)
+        # The waiting station is sized to the rule-lane count: every lane
+        # holder can reach its rendezvous, which the deadlock-freedom
+        # argument (and the global-scope ordering argument) both require.
+        self.station: list[SimToken] = []
+        self.depth = max(ctx.config.station_depth, ctx.config.rule_lanes)
+        self.epilogue_entry: Fifo[SimToken] | None = None
+        self.in_order = not ctx.config.out_of_order
+
+    def tick(self) -> None:
+        ctx = self.ctx
+        # 1) release one decided token.
+        candidates = self.station[:1] if self.in_order else self.station
+        for token in list(candidates):
+            engine, instance = token.lanes[0]
+            if not instance.returned:
+                continue
+            if instance.value:
+                if not self.can_send():
+                    continue
+                self.station.remove(token)
+                token.lanes.pop(0)
+                engine.release(instance)
+                self.send(token)
+            else:
+                if self.epilogue_entry is not None and \
+                        not self.epilogue_entry.can_push():
+                    continue
+                self.station.remove(token)
+                token.lanes.pop(0)
+                engine.release(instance)
+                ctx.stats.squashes += 1
+                if self.epilogue_entry is not None:
+                    self.epilogue_entry.push(token)
+                else:
+                    ctx.retire(token, "squash")
+            self.mark_active()
+            break
+        # 2) admit one waiting token into the station.
+        if self.input.visible and len(self.station) < self.depth:
+            token = self.input.pop()
+            if not token.lanes:
+                raise SimulationError(
+                    f"{self.name}: token reached rendezvous with no rule"
+                )
+            engine, instance = token.lanes[0]
+            engine.mark_awaited(instance)
+            if instance.rule_type.immediate and not instance.returned:
+                # Optimistic speculation: the promise resolves on arrival
+                # with whatever the inspection has accumulated so far.
+                instance.trigger_otherwise()
+            self.station.append(token)
+        elif self.input.visible:
+            self.stall_cycles += 1
+
+    def busy(self) -> bool:
+        return bool(self.station) or len(self.input) > 0
+
+
+class EnqueueStage(Stage):
+    """Task activation: a push port into a workset queue."""
+
+    def tick(self) -> None:
+        if self.input.visible == 0:
+            return
+        if not self.can_send():
+            self.stall_cycles += 1
+            return
+        token = self.input.peek()
+        op: Enqueue = self.op
+        if op.when is None or op.when(token.env):
+            queue = self.ctx.queues[op.task_set]
+            if not queue.can_push():
+                self.stall_cycles += 1
+                self.ctx.stats.queue_full_stalls += 1
+                return
+            self.input.pop()
+            self.ctx.activate(
+                op.task_set, dict(op.fields(token.env)), token.index
+            )
+        else:
+            self.input.pop()
+        self.send(token)
+        self.mark_active()
+
+
+class CallStage(Stage):
+    """Pipelined problem-specific function unit.
+
+    The functional effect is applied atomically at issue (so shared-state
+    mutations are serialized by issue order); the token is held for the
+    unit's latency and its operand traffic, and the REACH event is
+    broadcast at completion.
+    """
+
+    def __init__(self, ctx, op, name: str) -> None:
+        super().__init__(ctx, op, name)
+        self.in_flight: list[tuple[SimToken, int, int | None]] = []
+        self.depth = ctx.config.station_depth
+
+    def tick(self) -> None:
+        ctx = self.ctx
+        op: Call = self.op
+        # 1) complete one token.
+        if self.in_flight and self.can_send():
+            for entry in self.in_flight:
+                token, done_at, stream_req = entry
+                if done_at > ctx.cycle:
+                    continue
+                if stream_req is not None:
+                    if not ctx.memory.ready(ctx.cycle, stream_req):
+                        continue
+                    ctx.memory.retire(stream_req)
+                if op.label:
+                    ctx.emit_at(
+                        ctx.cycle + 1,
+                        Event(EventKind.REACH, token.task_set, op.label,
+                              token.index, dict(token.env)),
+                        token.task_uid,
+                    )
+                self.in_flight.remove(entry)
+                self.send(token)
+                self.mark_active()
+                break
+        # 2) issue one token.
+        if self.input.visible and len(self.in_flight) < self.depth:
+            token = self.input.pop()
+            updates = op.fn(token.env, ctx.state)
+            if updates:
+                token.env.update(updates)
+            if op.completes_task and token.live_handle >= 0:
+                ctx.tracker.release(token.live_handle)
+                token.live_handle = -1
+            latency = max(1, _value(op.cycles, token.env))
+            traffic = _value(op.traffic, token.env)
+            stream_req = (
+                ctx.memory.issue_stream(ctx.cycle, traffic)
+                if traffic > 0 else None
+            )
+            self.in_flight.append((token, ctx.cycle + latency, stream_req))
+        elif self.input.visible:
+            self.stall_cycles += 1
+
+    def busy(self) -> bool:
+        return bool(self.in_flight) or len(self.input) > 0
+
+
+_STAGE_CLASSES = {
+    Const: ConstStage,
+    Alu: AluStage,
+    Label: LabelStage,
+    Load: LoadStage,
+    Store: StoreStage,
+    Guard: SwitchStage,
+    Expand: ExpandStage,
+    AllocRule: AllocRuleStage,
+    Rendezvous: RendezvousStage,
+    Enqueue: EnqueueStage,
+    Call: CallStage,
+}
+
+
+def make_stage(ctx, op, name: str) -> Stage:
+    """Instantiate the simulated stage for a kernel primitive op."""
+    for op_type, stage_cls in _STAGE_CLASSES.items():
+        if isinstance(op, op_type):
+            return stage_cls(ctx, op, name)
+    raise SimulationError(f"no stage template for op {op!r}")

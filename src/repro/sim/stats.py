@@ -1,0 +1,41 @@
+"""Simulation statistics, including the paper's pipeline utilization rate.
+
+"The pipeline utilization rate is calculated as the average number of
+active (neither stall nor idle) primitive operations throughout the
+execution over total number of primitive operations for all pipelines
+instantiated on FPGA." (Section 6.3)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    cycles: int = 0
+    commits: int = 0
+    squashes: int = 0
+    guard_drops: int = 0
+    tasks_activated: int = 0
+    queue_full_stalls: int = 0
+    events_delivered: int = 0
+    total_stages: int = 0
+    active_stage_cycles: int = 0   # sum over cycles of active stages
+    per_stage_active: dict[str, int] = field(default_factory=dict)
+    per_stage_stalls: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def pipeline_utilization(self) -> float:
+        """The paper's utilization metric."""
+        if self.cycles == 0 or self.total_stages == 0:
+            return 0.0
+        return self.active_stage_cycles / (self.cycles * self.total_stages)
+
+    @property
+    def squash_fraction(self) -> float:
+        done = self.commits + self.squashes
+        return self.squashes / done if done else 0.0
+
+    def seconds(self, clock_hz: float) -> float:
+        return self.cycles / clock_hz

@@ -1,0 +1,42 @@
+"""Task tokens flowing through simulated pipelines."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.indexing import TaskIndex
+
+_token_ids = itertools.count()
+
+
+@dataclass
+class SimToken:
+    """One task token.
+
+    ``live_handle`` ties the token to its live-index registration (the
+    global minimum over live indices drives otherwise triggering);
+    ``lanes`` holds rule-engine lanes allocated by this token, consumed in
+    FIFO order by rendezvous stages.
+    """
+
+    env: dict[str, Any]
+    index: TaskIndex
+    task_set: str
+    uid: int = field(default_factory=lambda: next(_token_ids))
+    task_uid: int = 0
+    live_handle: int = -1
+    lanes: list = field(default_factory=list)
+
+    def fork(self, updates: dict[str, Any]) -> "SimToken":
+        """A sibling token (Expand): shares task identity and live handle."""
+        env = dict(self.env)
+        env.update(updates)
+        return SimToken(
+            env=env,
+            index=self.index,
+            task_set=self.task_set,
+            task_uid=self.task_uid,
+            live_handle=self.live_handle,
+        )

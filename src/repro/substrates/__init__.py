@@ -1,0 +1,12 @@
+"""Problem substrates the benchmarks are built on.
+
+The paper evaluates its framework on graph analytics (BFS, SSSP, MST),
+computational geometry (Delaunay mesh refinement) and sparse linear algebra
+(blocked sparse LU).  Each substrate here provides the data structures, input
+generators and *reference* (oracle) algorithms used both to drive the
+simulated accelerators and to verify their functional results.
+"""
+
+from repro.substrates.dsu import DisjointSet
+
+__all__ = ["DisjointSet"]

@@ -1,0 +1,68 @@
+"""Disjoint-set union (union-find) with path compression and union by rank.
+
+Used by the MST substrate both as the speculative accelerator's committed
+state and as the oracle for Kruskal's algorithm.
+"""
+
+from __future__ import annotations
+
+
+class DisjointSet:
+    """Classic union-find over the integers ``0 .. n-1``.
+
+    >>> dsu = DisjointSet(4)
+    >>> dsu.union(0, 1)
+    True
+    >>> dsu.union(1, 0)
+    False
+    >>> dsu.connected(0, 1)
+    True
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 0:
+            raise ValueError(f"size must be non-negative, got {n}")
+        self._parent = list(range(n))
+        self._rank = [0] * n
+        self._components = n
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    @property
+    def components(self) -> int:
+        """Number of disjoint components currently in the structure."""
+        return self._components
+
+    def find(self, x: int) -> int:
+        """Return the canonical representative of ``x``'s component."""
+        root = x
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[x] != root:  # path compression
+            self._parent[x], x = root, self._parent[x]
+        return root
+
+    def connected(self, a: int, b: int) -> bool:
+        """True if ``a`` and ``b`` are in the same component."""
+        return self.find(a) == self.find(b)
+
+    def union(self, a: int, b: int) -> bool:
+        """Merge the components of ``a`` and ``b``.
+
+        Returns True if a merge happened, False if they were already joined.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._components -= 1
+        return True
+
+    def snapshot(self) -> list[int]:
+        """Return the current root of every element (for conflict checks)."""
+        return [self.find(i) for i in range(len(self._parent))]

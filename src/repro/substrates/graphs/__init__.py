@@ -1,0 +1,25 @@
+"""Graph substrate: CSR storage, generators, DIMACS I/O and oracle algorithms."""
+
+from repro.substrates.graphs.csr import CSRGraph
+from repro.substrates.graphs.generators import (
+    grid_graph,
+    random_graph,
+    rmat_graph,
+    road_network,
+)
+from repro.substrates.graphs.algorithms import (
+    bfs_levels,
+    dijkstra_distances,
+    kruskal_mst,
+)
+
+__all__ = [
+    "CSRGraph",
+    "grid_graph",
+    "random_graph",
+    "rmat_graph",
+    "road_network",
+    "bfs_levels",
+    "dijkstra_distances",
+    "kruskal_mst",
+]

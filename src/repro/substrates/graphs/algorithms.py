@@ -1,0 +1,115 @@
+"""Reference (oracle) graph algorithms.
+
+Every simulated accelerator run is verified against these: the simulator must
+compute *the same answer*, not just a timing estimate.  They are also the
+sequential software counterparts whose event counts feed the Xeon timing
+model of Figure 9.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+
+import numpy as np
+
+from repro.substrates.dsu import DisjointSet
+from repro.substrates.graphs.csr import CSRGraph
+
+INF = np.iinfo(np.int64).max
+
+
+def bfs_levels(graph: CSRGraph, root: int) -> np.ndarray:
+    """Breadth-first levels from ``root``; unreachable vertices get ``INF``.
+
+    Matches Figure 1(a): ``level[v]`` is the number of edges on a shortest
+    path from the root, with ``level[root] == 0``.
+    """
+    levels = np.full(graph.num_vertices, INF, dtype=np.int64)
+    levels[root] = 0
+    queue: deque[int] = deque([root])
+    while queue:
+        v = queue.popleft()
+        next_level = levels[v] + 1
+        for u in graph.neighbors(v):
+            if levels[u] == INF:
+                levels[u] = next_level
+                queue.append(int(u))
+    return levels
+
+
+def dijkstra_distances(graph: CSRGraph, root: int) -> np.ndarray:
+    """Single-source shortest path distances (oracle for SPEC-SSSP)."""
+    dist = np.full(graph.num_vertices, np.inf, dtype=np.float64)
+    dist[root] = 0.0
+    heap: list[tuple[float, int]] = [(0.0, root)]
+    while heap:
+        d, v = heapq.heappop(heap)
+        if d > dist[v]:
+            continue
+        neighbors = graph.neighbors(v)
+        weights = graph.neighbor_weights(v)
+        for u, w in zip(neighbors, weights):
+            candidate = d + w
+            if candidate < dist[u]:
+                dist[u] = candidate
+                heapq.heappush(heap, (candidate, int(u)))
+    return dist
+
+
+def bellman_ford_distances(graph: CSRGraph, root: int) -> np.ndarray:
+    """Work-list Bellman-Ford — the algorithm SPEC-SSSP aggressively
+    parallelizes.  Functionally identical to Dijkstra on non-negative weights.
+    """
+    dist = np.full(graph.num_vertices, np.inf, dtype=np.float64)
+    dist[root] = 0.0
+    worklist: deque[int] = deque([root])
+    queued = np.zeros(graph.num_vertices, dtype=bool)
+    queued[root] = True
+    while worklist:
+        v = worklist.popleft()
+        queued[v] = False
+        base = dist[v]
+        for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+            candidate = base + w
+            if candidate < dist[u]:
+                dist[u] = candidate
+                if not queued[u]:
+                    worklist.append(int(u))
+                    queued[u] = True
+    return dist
+
+
+def kruskal_mst(graph: CSRGraph) -> tuple[list[tuple[int, int, float]], float]:
+    """Kruskal's minimum spanning forest (oracle for SPEC-MST).
+
+    Returns the chosen edges and their total weight.  Edges are examined in
+    the paper's well-order: sorted by weight with (src, dst) tie-break.
+    """
+    dsu = DisjointSet(graph.num_vertices)
+    chosen: list[tuple[int, int, float]] = []
+    total = 0.0
+    for src, dst, weight in graph.unique_undirected_edges():
+        if dsu.union(src, dst):
+            chosen.append((src, dst, weight))
+            total += weight
+    return chosen, total
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component label per vertex (used by generator sanity tests)."""
+    labels = np.full(graph.num_vertices, -1, dtype=np.int64)
+    next_label = 0
+    for start in range(graph.num_vertices):
+        if labels[start] != -1:
+            continue
+        labels[start] = next_label
+        queue = deque([start])
+        while queue:
+            v = queue.popleft()
+            for u in graph.neighbors(v):
+                if labels[u] == -1:
+                    labels[u] = next_label
+                    queue.append(int(u))
+        next_label += 1
+    return labels

@@ -1,0 +1,24 @@
+"""Triangular mesh substrate for Delaunay mesh refinement (SPEC-DMR)."""
+
+from repro.substrates.mesh.geometry import incircle, orient2d, triangle_min_angle
+from repro.substrates.mesh.delaunay import Mesh, triangulate
+from repro.substrates.mesh.refinement import (
+    bad_triangles,
+    cavity_of,
+    random_points,
+    refine_mesh,
+    retriangulate_cavity,
+)
+
+__all__ = [
+    "incircle",
+    "orient2d",
+    "triangle_min_angle",
+    "Mesh",
+    "triangulate",
+    "bad_triangles",
+    "cavity_of",
+    "random_points",
+    "refine_mesh",
+    "retriangulate_cavity",
+]

@@ -1,0 +1,75 @@
+"""2-D geometric predicates for Delaunay triangulation and refinement.
+
+Predicates are evaluated as floating-point determinants.  For the synthetic
+point sets this library generates (random points jittered away from exact
+degeneracies) this is robust in practice; the generator adds deterministic
+jitter so co-circular quadruples do not occur.
+"""
+
+from __future__ import annotations
+
+import math
+
+Point = tuple[float, float]
+
+
+def orient2d(a: Point, b: Point, c: Point) -> float:
+    """Twice the signed area of triangle ``abc``.
+
+    Positive when ``a, b, c`` wind counter-clockwise, negative when
+    clockwise, zero when collinear.
+    """
+    return (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+
+
+def incircle(a: Point, b: Point, c: Point, d: Point) -> float:
+    """Positive when ``d`` lies strictly inside the circumcircle of ``abc``.
+
+    ``abc`` must wind counter-clockwise; the caller is responsible for
+    orientation (``triangulate`` normalizes all triangles CCW).
+    """
+    adx, ady = a[0] - d[0], a[1] - d[1]
+    bdx, bdy = b[0] - d[0], b[1] - d[1]
+    cdx, cdy = c[0] - d[0], c[1] - d[1]
+    ad = adx * adx + ady * ady
+    bd = bdx * bdx + bdy * bdy
+    cd = cdx * cdx + cdy * cdy
+    return (
+        adx * (bdy * cd - bd * cdy)
+        - ady * (bdx * cd - bd * cdx)
+        + ad * (bdx * cdy - bdy * cdx)
+    )
+
+
+def circumcenter(a: Point, b: Point, c: Point) -> Point:
+    """Circumcenter of triangle ``abc`` (assumes non-degenerate)."""
+    d = 2.0 * (a[0] * (b[1] - c[1]) + b[0] * (c[1] - a[1]) + c[0] * (a[1] - b[1]))
+    if d == 0.0:
+        raise ValueError("degenerate triangle has no circumcenter")
+    a2 = a[0] * a[0] + a[1] * a[1]
+    b2 = b[0] * b[0] + b[1] * b[1]
+    c2 = c[0] * c[0] + c[1] * c[1]
+    ux = (a2 * (b[1] - c[1]) + b2 * (c[1] - a[1]) + c2 * (a[1] - b[1])) / d
+    uy = (a2 * (c[0] - b[0]) + b2 * (a[0] - c[0]) + c2 * (b[0] - a[0])) / d
+    return (ux, uy)
+
+
+def triangle_min_angle(a: Point, b: Point, c: Point) -> float:
+    """Smallest interior angle of ``abc`` in degrees.
+
+    Delaunay mesh refinement labels a triangle *bad* when this falls below a
+    quality threshold (the paper follows Kulkarni et al. [33], who use the
+    classic ~30 degree bound).
+    """
+    def side(p: Point, q: Point) -> float:
+        return math.hypot(p[0] - q[0], p[1] - q[1])
+
+    la, lb, lc = side(b, c), side(c, a), side(a, b)
+    if min(la, lb, lc) == 0.0:
+        return 0.0
+
+    def angle(opposite: float, s1: float, s2: float) -> float:
+        cos_val = (s1 * s1 + s2 * s2 - opposite * opposite) / (2.0 * s1 * s2)
+        return math.degrees(math.acos(max(-1.0, min(1.0, cos_val))))
+
+    return min(angle(la, lb, lc), angle(lb, lc, la), angle(lc, la, lb))

@@ -1,0 +1,15 @@
+"""Block-sparse matrix substrate for COOR-LU (BOTS sparselu structure)."""
+
+from repro.substrates.sparse.block import (
+    BlockSparseMatrix,
+    lu_block_tasks,
+    make_sparselu_instance,
+    sparse_lu_reference,
+)
+
+__all__ = [
+    "BlockSparseMatrix",
+    "lu_block_tasks",
+    "make_sparselu_instance",
+    "sparse_lu_reference",
+]

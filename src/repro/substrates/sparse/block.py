@@ -1,0 +1,231 @@
+"""Block-sparse matrices and the BOTS-style sparse LU factorization.
+
+The paper's COOR-LU benchmark is the sparse LU kernel from the Barcelona
+OpenMP Task Suite [17], coordinated with Kinetic-Dependence-Graph-style
+rules [22].  A matrix is a grid of dense ``block_size x block_size`` blocks,
+many of them absent; the factorization emits four task kinds over the block
+grid (lu0, fwd, bdiv, bmod) whose dependences the rules enforce at runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InputError
+
+
+class BlockSparseMatrix:
+    """A ``grid x grid`` array of optional dense blocks."""
+
+    def __init__(self, grid: int, block_size: int) -> None:
+        if grid < 1 or block_size < 1:
+            raise InputError("grid and block_size must be positive")
+        self.grid = grid
+        self.block_size = block_size
+        self._blocks: dict[tuple[int, int], np.ndarray] = {}
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._blocks
+
+    def get(self, i: int, j: int) -> np.ndarray | None:
+        return self._blocks.get((i, j))
+
+    def set(self, i: int, j: int, block: np.ndarray) -> None:
+        if block.shape != (self.block_size, self.block_size):
+            raise InputError(
+                f"block shape {block.shape} != "
+                f"({self.block_size}, {self.block_size})"
+            )
+        if not (0 <= i < self.grid and 0 <= j < self.grid):
+            raise InputError(f"block index ({i}, {j}) out of range")
+        self._blocks[(i, j)] = np.array(block, dtype=np.float64)
+
+    def ensure(self, i: int, j: int) -> np.ndarray:
+        """Return block (i, j), allocating a zero block (fill-in) if absent."""
+        block = self._blocks.get((i, j))
+        if block is None:
+            block = np.zeros((self.block_size, self.block_size))
+            self.set(i, j, block)
+        return self._blocks[(i, j)]
+
+    @property
+    def nonzero_blocks(self) -> list[tuple[int, int]]:
+        return sorted(self._blocks)
+
+    def copy(self) -> "BlockSparseMatrix":
+        clone = BlockSparseMatrix(self.grid, self.block_size)
+        for (i, j), block in self._blocks.items():
+            clone.set(i, j, block)
+        return clone
+
+    def to_dense(self) -> np.ndarray:
+        n = self.grid * self.block_size
+        dense = np.zeros((n, n))
+        s = self.block_size
+        for (i, j), block in self._blocks.items():
+            dense[i * s:(i + 1) * s, j * s:(j + 1) * s] = block
+        return dense
+
+    def total_bytes(self) -> int:
+        """Bytes of dense block payload (feeds the bandwidth models)."""
+        return len(self._blocks) * self.block_size * self.block_size * 8
+
+
+def make_sparselu_instance(
+    grid: int = 8,
+    block_size: int = 8,
+    density: float = 0.35,
+    seed: int = 0,
+) -> BlockSparseMatrix:
+    """Generate a BOTS-like instance: full diagonal, random off-diagonals.
+
+    Diagonal blocks are made strongly diagonally dominant so the unpivoted
+    block LU used by BOTS is numerically stable.
+    """
+    if not 0.0 <= density <= 1.0:
+        raise InputError(f"density must be in [0, 1], got {density}")
+    rng = np.random.default_rng(seed)
+    matrix = BlockSparseMatrix(grid, block_size)
+    for i in range(grid):
+        block = rng.standard_normal((block_size, block_size))
+        block += np.eye(block_size) * (block_size * grid)
+        matrix.set(i, i, block)
+    for i in range(grid):
+        for j in range(grid):
+            if i != j and rng.random() < density:
+                matrix.set(i, j, rng.standard_normal((block_size, block_size)))
+    return matrix
+
+
+# -- block kernels (the task bodies) -----------------------------------------
+
+def lu0(diag: np.ndarray) -> None:
+    """In-place unpivoted LU of a diagonal block (unit lower diagonal)."""
+    n = diag.shape[0]
+    for k in range(n):
+        pivot = diag[k, k]
+        if pivot == 0.0:
+            raise InputError("zero pivot in lu0; instance not factorizable")
+        diag[k + 1:, k] /= pivot
+        diag[k + 1:, k + 1:] -= np.outer(diag[k + 1:, k], diag[k, k + 1:])
+
+
+def fwd(diag: np.ndarray, row_block: np.ndarray) -> None:
+    """Solve L * X = row_block in place (L unit lower from ``diag``)."""
+    n = diag.shape[0]
+    for k in range(n):
+        row_block[k + 1:, :] -= np.outer(diag[k + 1:, k], row_block[k, :])
+
+
+def bdiv(diag: np.ndarray, col_block: np.ndarray) -> None:
+    """Solve X * U = col_block in place (U upper from ``diag``)."""
+    n = diag.shape[0]
+    for k in range(n):
+        col_block[:, k] /= diag[k, k]
+        col_block[:, k + 1:] -= np.outer(col_block[:, k], diag[k, k + 1:])
+
+
+def bmod(row: np.ndarray, col: np.ndarray, inner: np.ndarray) -> None:
+    """inner -= col @ row (the trailing update)."""
+    inner -= col @ row
+
+
+@dataclass(frozen=True)
+class LUTask:
+    """One node of the sparse LU task DAG."""
+
+    kind: str  # "lu0" | "fwd" | "bdiv" | "bmod"
+    k: int
+    i: int
+    j: int
+
+    def reads(self) -> list[tuple[int, int]]:
+        """Blocks this task reads (the coordinative rule's watch set)."""
+        if self.kind == "lu0":
+            return []
+        if self.kind == "fwd":
+            return [(self.k, self.k)]
+        if self.kind == "bdiv":
+            return [(self.k, self.k)]
+        return [(self.k, self.j), (self.i, self.k)]
+
+    def writes(self) -> tuple[int, int]:
+        """The single block this task mutates."""
+        if self.kind == "lu0":
+            return (self.k, self.k)
+        if self.kind == "fwd":
+            return (self.k, self.j)
+        if self.kind == "bdiv":
+            return (self.i, self.k)
+        return (self.i, self.j)
+
+
+def lu_block_tasks(matrix: BlockSparseMatrix) -> list[LUTask]:
+    """The sequential well-ordered task list for a given sparsity pattern.
+
+    This enumerates tasks in BOTS order (outer k, then fwd row, bdiv column,
+    then the bmod trailing updates); fill-in blocks created by bmod are
+    accounted for by pre-computing the symbolic fill.
+    """
+    present: set[tuple[int, int]] = set(matrix.nonzero_blocks)
+    tasks: list[LUTask] = []
+    for k in range(matrix.grid):
+        tasks.append(LUTask("lu0", k, k, k))
+        for j in range(k + 1, matrix.grid):
+            if (k, j) in present:
+                tasks.append(LUTask("fwd", k, k, j))
+        for i in range(k + 1, matrix.grid):
+            if (i, k) in present:
+                tasks.append(LUTask("bdiv", k, i, k))
+        for i in range(k + 1, matrix.grid):
+            if (i, k) not in present:
+                continue
+            for j in range(k + 1, matrix.grid):
+                if (k, j) not in present:
+                    continue
+                tasks.append(LUTask("bmod", k, i, j))
+                present.add((i, j))  # fill-in
+    return tasks
+
+
+def apply_lu_task(matrix: BlockSparseMatrix, task: LUTask) -> None:
+    """Execute one block kernel against the matrix (shared by all runtimes)."""
+    if task.kind == "lu0":
+        lu0(matrix.ensure(task.k, task.k))
+    elif task.kind == "fwd":
+        fwd(matrix.get(task.k, task.k), matrix.ensure(task.k, task.j))
+    elif task.kind == "bdiv":
+        bdiv(matrix.get(task.k, task.k), matrix.ensure(task.i, task.k))
+    elif task.kind == "bmod":
+        bmod(
+            matrix.get(task.k, task.j),
+            matrix.get(task.i, task.k),
+            matrix.ensure(task.i, task.j),
+        )
+    else:
+        raise InputError(f"unknown LU task kind {task.kind!r}")
+
+
+def sparse_lu_reference(matrix: BlockSparseMatrix) -> BlockSparseMatrix:
+    """Sequential sparse LU (oracle): returns the factored copy."""
+    result = matrix.copy()
+    for task in lu_block_tasks(matrix):
+        apply_lu_task(result, task)
+    return result
+
+
+def lu_residual(original: BlockSparseMatrix, factored: BlockSparseMatrix) -> float:
+    """Relative Frobenius residual || L @ U - A || / || A ||.
+
+    L is unit-lower / U upper, both packed into the factored blocks.
+    """
+    dense = factored.to_dense()
+    lower = np.tril(dense, k=-1) + np.eye(dense.shape[0])
+    upper = np.triu(dense)
+    a = original.to_dense()
+    denom = np.linalg.norm(a)
+    if denom == 0.0:
+        return 0.0
+    return float(np.linalg.norm(lower @ upper - a) / denom)

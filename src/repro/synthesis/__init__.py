@@ -1,0 +1,14 @@
+"""MoA: parameterized hardware templates and datapath synthesis (Section 5.2)."""
+
+from repro.synthesis.datapath import Datapath, StageProgram, build_datapath
+from repro.synthesis.resources import ResourceEstimate, estimate_datapath
+from repro.synthesis.tuning import tune_parameters
+
+__all__ = [
+    "Datapath",
+    "StageProgram",
+    "build_datapath",
+    "ResourceEstimate",
+    "estimate_datapath",
+    "tune_parameters",
+]

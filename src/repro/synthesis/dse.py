@@ -1,0 +1,139 @@
+"""Automatic design-space exploration for template parameters.
+
+Section 8 leaves this as future work: "Another question for future work is
+how to automatically choose parameters for templated components when
+generating structures on FPGA.  With proper abstractions and automatic
+design space explorations, developing hardware accelerator for irregular
+applications will be open to software developers."
+
+This module closes that loop within the reproduction: it sweeps the
+architectural knobs (pipeline replicas, rule lanes, station depth) over a
+candidate grid, prunes configurations that do not fit the device, runs the
+cycle-level simulator for the survivors, and returns the Pareto frontier of
+(cycles, registers).  Because the simulator computes real answers, every
+explored point is also functionally verified.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.spec import ApplicationSpec
+from repro.eval.platforms import STRATIX_V, HarpPlatform, HARP, StratixV
+from repro.sim.accelerator import SimConfig, simulate_app
+from repro.synthesis.datapath import build_datapath
+from repro.synthesis.resources import estimate_datapath
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One explored configuration and its measurements."""
+
+    replicas_per_set: int
+    rule_lanes: int
+    station_depth: int
+    cycles: int
+    registers: int
+    alms: int
+    utilization: float
+
+    @property
+    def label(self) -> str:
+        return (f"P{self.replicas_per_set}/L{self.rule_lanes}"
+                f"/S{self.station_depth}")
+
+    def dominates(self, other: "DesignPoint") -> bool:
+        """Pareto dominance on (cycles, registers): smaller is better."""
+        no_worse = (self.cycles <= other.cycles
+                    and self.registers <= other.registers)
+        better = (self.cycles < other.cycles
+                  or self.registers < other.registers)
+        return no_worse and better
+
+
+@dataclass
+class DseResult:
+    """All evaluated points plus the Pareto frontier."""
+
+    points: list[DesignPoint] = field(default_factory=list)
+    skipped_overflow: int = 0
+
+    @property
+    def frontier(self) -> list[DesignPoint]:
+        frontier = [
+            p for p in self.points
+            if not any(q.dominates(p) for q in self.points)
+        ]
+        return sorted(frontier, key=lambda p: p.cycles)
+
+    def best_performance(self) -> DesignPoint:
+        return min(self.points, key=lambda p: p.cycles)
+
+    def smallest(self) -> DesignPoint:
+        return min(self.points, key=lambda p: p.registers)
+
+
+def explore(
+    spec_builder: Callable[[], ApplicationSpec],
+    replica_options: Sequence[int] = (1, 2, 4),
+    lane_options: Sequence[int] = (16, 64),
+    station_options: Sequence[int] = (8, 16),
+    platform: HarpPlatform = HARP,
+    device: StratixV = STRATIX_V,
+) -> DseResult:
+    """Sweep the knob grid; simulate what fits; return Pareto data.
+
+    ``spec_builder`` must return a fresh spec per call (simulation mutates
+    program state).  The grid is intentionally small — each surviving point
+    is a full cycle-level simulation.
+    """
+    result = DseResult()
+    grid = itertools.product(replica_options, lane_options, station_options)
+    for replicas_per_set, lanes, station in grid:
+        probe_spec = spec_builder()
+        replicas = {name: replicas_per_set for name in probe_spec.task_sets}
+        datapath = build_datapath(
+            probe_spec, replicas=replicas, rule_lanes=lanes,
+            station_depth=station,
+        )
+        estimate = estimate_datapath(datapath)
+        if not estimate.fits(device):
+            result.skipped_overflow += 1
+            continue
+        config = SimConfig(rule_lanes=lanes, station_depth=station)
+        sim = simulate_app(
+            spec_builder(), platform=platform, config=config,
+            replicas=replicas,
+        )
+        result.points.append(DesignPoint(
+            replicas_per_set=replicas_per_set,
+            rule_lanes=lanes,
+            station_depth=station,
+            cycles=sim.cycles,
+            registers=estimate.total.registers,
+            alms=estimate.total.alms,
+            utilization=sim.utilization,
+        ))
+    return result
+
+
+def format_frontier(result: DseResult) -> str:
+    """Human-readable frontier table."""
+    lines = [
+        "Design-space exploration: Pareto frontier (cycles vs registers)",
+        f"  explored {len(result.points)} fitting points, "
+        f"{result.skipped_overflow} rejected for overflow",
+        f"  {'config':>14s} {'cycles':>9s} {'registers':>10s} "
+        f"{'util':>6s}{'':>3s}",
+    ]
+    frontier = set(id(p) for p in result.frontier)
+    for point in sorted(result.points, key=lambda p: p.cycles):
+        marker = " *" if id(point) in frontier else ""
+        lines.append(
+            f"  {point.label:>14s} {point.cycles:9d} "
+            f"{point.registers:10d} {point.utilization:6.3f}{marker}"
+        )
+    lines.append("  (* = Pareto-optimal)")
+    return "\n".join(lines)

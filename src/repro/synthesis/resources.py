@@ -1,0 +1,94 @@
+"""Resource accounting for synthesized datapaths (Section 6.2).
+
+Produces the per-component breakdown the paper discusses: task pipelines,
+task queues, rule engines, and the memory subsystem, against the Stratix V
+5SGXEA7N1F45 capacity.  The headline check is the rule-engine share of
+total registers, which the paper reports as 4.8-10 % depending on the
+application, with BRAM and combinational logic negligible next to the
+pipelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ResourceError
+from repro.eval.platforms import STRATIX_V, StratixV
+from repro.synthesis.datapath import Datapath, StageSpec
+from repro.synthesis.templates import Footprint
+
+
+@dataclass
+class ResourceEstimate:
+    """Breakdown of one datapath's device usage."""
+
+    pipelines: Footprint = field(default_factory=Footprint)
+    queues: Footprint = field(default_factory=Footprint)
+    rule_engines: Footprint = field(default_factory=Footprint)
+    memory: Footprint = field(default_factory=Footprint)
+
+    @property
+    def total(self) -> Footprint:
+        return self.pipelines + self.queues + self.rule_engines + self.memory
+
+    @property
+    def rule_engine_register_share(self) -> float:
+        """Fraction of all registers consumed by rule engines."""
+        total = self.total.registers
+        return self.rule_engines.registers / total if total else 0.0
+
+    def utilization(self, device: StratixV = STRATIX_V) -> dict[str, float]:
+        total = self.total
+        return {
+            "alms": total.alms / device.alms,
+            "registers": total.registers / device.registers,
+            "m20k": total.m20k / device.m20k_blocks,
+            "dsps": total.dsps / device.dsp_blocks,
+        }
+
+    def fits(self, device: StratixV = STRATIX_V) -> bool:
+        return all(v <= 1.0 for v in self.utilization(device).values())
+
+
+def _program_footprint(datapath: Datapath, stages: list[StageSpec]
+                       ) -> Footprint:
+    total = Footprint()
+    for stage in stages:
+        profile = getattr(stage.op, "profile", "light") if stage.op else \
+            "light"
+        template = datapath.library.stage(stage.kind, call_profile=profile)
+        total = total + template.footprint()
+        if stage.epilogue:
+            total = total + _program_footprint(datapath, stage.epilogue)
+    return total
+
+
+def estimate_datapath(datapath: Datapath) -> ResourceEstimate:
+    """Estimate the device footprint of a synthesized datapath."""
+    estimate = ResourceEstimate()
+    for task_set, program in datapath.programs.items():
+        replicas = datapath.replicas[task_set]
+        one = _program_footprint(datapath, program.stages)
+        estimate.pipelines = estimate.pipelines + one.scaled(replicas)
+    for queue in datapath.queues.values():
+        estimate.queues = estimate.queues + queue.footprint()
+    for engine in datapath.rule_engines.values():
+        estimate.rule_engines = estimate.rule_engines + engine.footprint()
+    estimate.memory = datapath.memory.footprint()
+    return estimate
+
+
+def require_fit(datapath: Datapath, device: StratixV = STRATIX_V
+                ) -> ResourceEstimate:
+    """Estimate and raise :class:`ResourceError` if the design overflows."""
+    estimate = estimate_datapath(datapath)
+    if not estimate.fits(device):
+        overflowing = {
+            k: round(v, 3)
+            for k, v in estimate.utilization(device).items()
+            if v > 1.0
+        }
+        raise ResourceError(
+            f"datapath {datapath.name!r} exceeds the device: {overflowing}"
+        )
+    return estimate

@@ -1,0 +1,221 @@
+"""Parameterized hardware templates (the MoA of Section 5.2).
+
+Four template families, mirroring the paper: primitive-operation pipeline
+modules, multi-bank task queues with a wavefront allocator, rule engines
+(lane allocator + event bus + return buffer), and the generic memory
+subsystem.  Each template estimates its Stratix V footprint; the constants
+are calibrated so the relative shares reported in Section 6.2 hold (rule
+engines take 4.8-10 % of registers, dominated by allocator and event bus;
+their BRAM and combinational logic are negligible next to task pipelines).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.ir.bdfg import ActorKind
+
+
+@dataclass(frozen=True)
+class Footprint:
+    """Resource usage of one template instance."""
+
+    alms: int = 0
+    registers: int = 0
+    m20k: int = 0
+    dsps: int = 0
+
+    def __add__(self, other: "Footprint") -> "Footprint":
+        return Footprint(
+            self.alms + other.alms,
+            self.registers + other.registers,
+            self.m20k + other.m20k,
+            self.dsps + other.dsps,
+        )
+
+    def scaled(self, factor: int) -> "Footprint":
+        return Footprint(
+            self.alms * factor,
+            self.registers * factor,
+            self.m20k * factor,
+            self.dsps * factor,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Primitive-operation pipeline modules
+# ---------------------------------------------------------------------------
+
+# Per-kind base costs for a 64-bit datapath stage: (alms, registers, dsps).
+# In-order stages interface as dual-port FIFOs (cheap); the two
+# out-of-order kinds (load units, rendezvous) carry matching logic whose
+# cost scales with their station depth.
+_STAGE_BASE: dict[ActorKind, tuple[int, int, int]] = {
+    ActorKind.SOURCE: (120, 260, 0),
+    ActorKind.CONST: (20, 70, 0),
+    ActorKind.ALU: (180, 240, 1),
+    ActorKind.LOAD: (420, 700, 0),
+    ActorKind.STORE: (320, 520, 0),
+    ActorKind.SWITCH: (90, 190, 0),
+    ActorKind.EXPAND: (360, 620, 0),
+    ActorKind.ALLOC_RULE: (150, 300, 0),
+    ActorKind.RENDEZVOUS: (260, 480, 0),
+    ActorKind.ENQUEUE: (140, 280, 0),
+    ActorKind.CALL: (900, 1500, 0),
+    ActorKind.LABEL: (30, 90, 0),
+    ActorKind.SINK: (10, 20, 0),
+}
+
+# Problem-specific function units (CALL) by hardware profile:
+# a pointer walker, a floating-point geometric-predicate pipeline, or a
+# dense multiply-accumulate array (16 lanes).
+_CALL_PROFILES: dict[str, tuple[int, int, int]] = {
+    "light": (900, 1500, 0),
+    "geometry": (3200, 5200, 16),
+    "macc": (6000, 9000, 32),
+}
+
+# Matching (CAM) logic per out-of-order station entry.
+_OOO_ENTRY = (60, 130)
+
+
+@dataclass(frozen=True)
+class StageTemplate:
+    """One primitive-operation module in a pipeline."""
+
+    kind: ActorKind
+    data_bits: int = 64
+    station_depth: int = 8   # only meaningful for out-of-order kinds
+    call_profile: str = "light"
+
+    def footprint(self) -> Footprint:
+        if self.kind is ActorKind.CALL:
+            alms, regs, dsps = _CALL_PROFILES[self.call_profile]
+        else:
+            alms, regs, dsps = _STAGE_BASE[self.kind]
+        scale = self.data_bits / 64.0
+        alms = int(alms * scale)
+        regs = int(regs * scale)
+        if self.kind in (ActorKind.LOAD, ActorKind.RENDEZVOUS):
+            alms += _OOO_ENTRY[0] * self.station_depth
+            regs += _OOO_ENTRY[1] * self.station_depth
+        return Footprint(alms=alms, registers=regs, dsps=dsps)
+
+
+# ---------------------------------------------------------------------------
+# Multi-bank task queues
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TaskQueueTemplate:
+    """Multi-bank FIFO workset with a wavefront allocator [8].
+
+    One queue per active task set; banks hold entries of ``entry_bits``
+    (task fields plus the well-order index tag).  The wavefront allocator
+    matches ``in_ports`` producers and ``out_ports`` consumers to banks each
+    cycle for load balance.
+    """
+
+    banks: int = 4
+    depth_per_bank: int = 512
+    entry_bits: int = 96
+    in_ports: int = 2
+    out_ports: int = 2
+
+    @property
+    def capacity(self) -> int:
+        return self.banks * self.depth_per_bank
+
+    def footprint(self) -> Footprint:
+        bits_per_bank = self.depth_per_bank * self.entry_bits
+        m20k = self.banks * max(1, math.ceil(bits_per_bank / 20_480))
+        # Wavefront allocator: a ports x banks grid of arbitration cells.
+        grid = (self.in_ports + self.out_ports) * self.banks
+        alms = 40 * self.banks + 55 * grid
+        regs = 90 * self.banks + 70 * grid + 2 * self.entry_bits
+        return Footprint(alms=alms, registers=regs, m20k=m20k)
+
+
+# ---------------------------------------------------------------------------
+# Rule engines
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RuleEngineTemplate:
+    """One engine per rule type (Figure 8): allocator, lanes, event bus,
+    return buffer.
+
+    Most of the register cost sits in the lane allocator and the event bus
+    (Section 6.2) — each lane latches its parameters and every event
+    subscription adds a broadcast comparator per lane.
+    """
+
+    lanes: int = 16
+    param_bits: int = 96
+    subscriptions: int = 1     # distinct event patterns listened to
+    clauses: int = 1
+    pipelines_attached: int = 1
+
+    def footprint(self) -> Footprint:
+        # Lane state: parameter latches + requires-flags + verdict.
+        lane_regs = self.lanes * (self.param_bits + 12 * self.clauses + 8)
+        # Allocator: a grant arbiter over lanes plus one request port per
+        # attached pipeline (linear, not a full crossbar).
+        alloc_regs = 28 * self.lanes + 48 * max(1, self.pipelines_attached)
+        alloc_alms = 16 * self.lanes + 10 * max(1, self.pipelines_attached)
+        # Event bus: per-lane comparators per subscription, plus the
+        # broadcast spine across pipelines.
+        bus_regs = (
+            34 * self.lanes * self.subscriptions
+            + 120 * self.pipelines_attached
+        )
+        bus_alms = 22 * self.lanes * self.subscriptions
+        # Return buffer: small reorder memory for out-of-order verdicts.
+        ret_regs = 18 * self.lanes
+        return Footprint(
+            alms=alloc_alms + bus_alms + 30 * self.lanes,
+            registers=lane_regs + alloc_regs + bus_regs + ret_regs,
+            m20k=max(1, self.lanes // 32),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Memory subsystem
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class MemorySubsystemTemplate:
+    """The problem-independent HARP cache + QPI interface (Section 5.2)."""
+
+    cache_bytes: int = 64 * 1024
+    line_bytes: int = 64
+    mshr_entries: int = 32
+
+    def footprint(self) -> Footprint:
+        lines = self.cache_bytes // self.line_bytes
+        tag_regs = lines * 24
+        return Footprint(
+            alms=6_000 + 45 * self.mshr_entries,
+            registers=9_000 + tag_regs // 8 + 120 * self.mshr_entries,
+            m20k=max(1, self.cache_bytes // 2_560),
+        )
+
+
+@dataclass
+class TemplateLibrary:
+    """Default parameter choices, overridable per application."""
+
+    stage_station_depth: int = 8
+    queue: TaskQueueTemplate = field(default_factory=TaskQueueTemplate)
+    memory: MemorySubsystemTemplate = field(
+        default_factory=MemorySubsystemTemplate
+    )
+
+    def stage(
+        self, kind: ActorKind, data_bits: int = 64,
+        call_profile: str = "light",
+    ) -> StageTemplate:
+        return StageTemplate(
+            kind, data_bits, self.stage_station_depth, call_profile
+        )

@@ -1,0 +1,99 @@
+"""Heuristic template-parameter selection (Section 6.3).
+
+"Given an application, a number of parameters of architectural templates,
+e.g. the number of pipelines and the number of lanes in the rule engine,
+have to be customized.  Currently we rely on a heuristic approach to ensure
+the resultant design occupies the FPGA resource as much as possible to
+deliver the best performance."
+
+The heuristic here: start with one pipeline per task set and grow the
+replica counts round-robin (weighted toward the task set doing the memory
+work) while the estimated design stays under the occupancy target; rule
+lanes scale with the total pipeline count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.spec import ApplicationSpec
+from repro.eval.platforms import STRATIX_V, StratixV
+from repro.synthesis.datapath import Datapath, build_datapath
+from repro.synthesis.resources import estimate_datapath
+
+
+@dataclass(frozen=True)
+class TunedParameters:
+    """Chosen template parameters for one application."""
+
+    replicas: dict[str, int]
+    rule_lanes: int
+    queue_banks: int
+    station_depth: int
+
+    @property
+    def total_pipelines(self) -> int:
+        return sum(self.replicas.values())
+
+
+def tune_parameters(
+    spec: ApplicationSpec,
+    device: StratixV = STRATIX_V,
+    occupancy_target: float = 0.8,
+    max_pipelines_per_set: int = 24,
+    lanes_per_pipeline: int = 4,
+    max_lanes: int = 64,
+) -> TunedParameters:
+    """Grow the design until the device is ~full (the paper's heuristic)."""
+    replicas = {name: 1 for name in spec.task_sets}
+    order = list(spec.task_sets)
+    chosen = dict(replicas)
+    engines = max(1, len(spec.rules))
+
+    def lane_count(candidate: dict[str, int]) -> int:
+        total = lanes_per_pipeline * sum(candidate.values())
+        return min(max_lanes, max(8, total // engines))
+
+    def attempt(candidate: dict[str, int]) -> bool:
+        lanes = lane_count(candidate)
+        datapath = build_datapath(
+            spec, replicas=candidate, rule_lanes=lanes,
+        )
+        estimate = estimate_datapath(datapath)
+        usage = estimate.utilization(device)
+        return max(usage.values()) <= occupancy_target
+
+    if not attempt(replicas):
+        # Even the minimal design misses the target: keep it anyway (it
+        # still fits the device outright or require_fit will flag it).
+        return TunedParameters(replicas, lane_count(replicas),
+                               queue_banks=4, station_depth=8)
+
+    growing = True
+    while growing:
+        growing = False
+        for name in order:
+            candidate = dict(chosen)
+            if candidate[name] >= max_pipelines_per_set:
+                continue
+            candidate[name] += 1
+            if attempt(candidate):
+                chosen = candidate
+                growing = True
+
+    return TunedParameters(chosen, lane_count(chosen), queue_banks=4,
+                           station_depth=8)
+
+
+def build_tuned_datapath(
+    spec: ApplicationSpec, device: StratixV = STRATIX_V, **tune_kwargs
+) -> Datapath:
+    """Tune parameters and build the resulting datapath."""
+    params = tune_parameters(spec, device, **tune_kwargs)
+    return build_datapath(
+        spec,
+        replicas=params.replicas,
+        rule_lanes=params.rule_lanes,
+        queue_banks=params.queue_banks,
+        station_depth=params.station_depth,
+    )

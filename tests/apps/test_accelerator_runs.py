@@ -1,0 +1,87 @@
+"""Every benchmark through the cycle-level accelerator, verified.
+
+The simulator computes real answers; these tests run each benchmark on a
+small input, let `run()` verify the functional result against the oracle,
+and assert basic sanity of the reported statistics.
+"""
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.eval.platforms import EVAL_HARP, HARP
+from repro.sim import simulate_app
+from repro.sim.accelerator import SimConfig
+from repro.substrates.graphs import random_graph
+
+GRAPH = random_graph(80, 240, seed=13)
+
+CASES = [
+    ("SPEC-BFS", lambda: build_app("SPEC-BFS", GRAPH, 0)),
+    ("COOR-BFS", lambda: build_app("COOR-BFS", GRAPH, 0)),
+    ("SPEC-SSSP", lambda: build_app("SPEC-SSSP", GRAPH, 0)),
+    ("SPEC-MST", lambda: build_app("SPEC-MST", GRAPH)),
+    ("SPEC-DMR", lambda: build_app("SPEC-DMR", n_points=40, seed=6)),
+    ("COOR-LU", lambda: build_app("COOR-LU", grid=4, block_size=5,
+                                  density=0.4, seed=2)),
+]
+
+
+@pytest.mark.parametrize("name,builder", CASES)
+def test_app_simulates_and_verifies(name, builder):
+    result = simulate_app(builder(), platform=HARP)
+    assert result.cycles > 0
+    assert result.stats.commits > 0
+    assert 0.0 <= result.utilization <= 1.0
+    assert result.seconds == pytest.approx(result.cycles / HARP.clock_hz)
+
+
+@pytest.mark.parametrize("name,builder", CASES)
+def test_app_simulates_on_scaled_platform(name, builder):
+    result = simulate_app(builder(), platform=EVAL_HARP.scaled(4.0))
+    assert result.bandwidth_scale == 4.0
+
+
+def test_more_pipelines_not_slower():
+    one = simulate_app(build_app("SPEC-SSSP", GRAPH, 0),
+                       replicas={"relax": 1})
+    four = simulate_app(build_app("SPEC-SSSP", GRAPH, 0),
+                        replicas={"relax": 4})
+    assert four.cycles <= one.cycles
+
+def test_bandwidth_scaling_never_hurts_lu():
+    slow = simulate_app(build_app("COOR-LU", grid=4, block_size=8,
+                                  density=0.4, seed=2),
+                        platform=EVAL_HARP)
+    fast = simulate_app(build_app("COOR-LU", grid=4, block_size=8,
+                                  density=0.4, seed=2),
+                        platform=EVAL_HARP.scaled(8.0))
+    assert fast.cycles < slow.cycles
+
+
+def test_memory_statistics_populated():
+    result = simulate_app(build_app("SPEC-BFS", GRAPH, 0), platform=HARP)
+    assert result.memory_loads > 0
+    assert result.memory_bytes > 0
+    assert 0.0 <= result.memory_hit_rate <= 1.0
+
+
+def test_determinism_across_runs():
+    a = simulate_app(build_app("SPEC-DMR", n_points=40, seed=6))
+    b = simulate_app(build_app("SPEC-DMR", n_points=40, seed=6))
+    assert a.cycles == b.cycles
+    assert a.stats.squashes == b.stats.squashes
+
+
+def test_max_cycles_guard():
+    from repro.errors import SimulationError
+
+    spec = build_app("SPEC-BFS", GRAPH, 0)
+    with pytest.raises(SimulationError):
+        simulate_app(spec, config=SimConfig(max_cycles=10))
+
+
+def test_utilization_definition_bounds():
+    """Utilization is active-stages over total stage-cycles (Section 6.3)."""
+    result = simulate_app(build_app("SPEC-BFS", GRAPH, 0))
+    stats = result.stats
+    assert stats.active_stage_cycles <= stats.cycles * stats.total_stages

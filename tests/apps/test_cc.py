@@ -1,0 +1,67 @@
+"""Tests for the SPEC-CC extension benchmark."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.cc import spec_cc
+from repro.apps.registry import build_app
+from repro.core.runtime import AggressiveRuntime, SequentialRuntime
+from repro.ir import check_graph, lower_spec
+from repro.sim import simulate_app
+from repro.substrates.graphs import random_graph
+from repro.substrates.graphs.csr import CSRGraph
+
+
+def test_registered():
+    spec = build_app("SPEC-CC", random_graph(20, 30, seed=1))
+    assert spec.name == "SPEC-CC"
+
+
+def test_sequential_runtime():
+    graph = random_graph(80, 160, seed=2, connected=False)
+    SequentialRuntime(spec_cc(graph)).run()
+
+
+def test_aggressive_runtime():
+    graph = random_graph(80, 160, seed=3, connected=False)
+    AggressiveRuntime(spec_cc(graph), workers=8).run()
+
+
+def test_simulator():
+    graph = random_graph(60, 120, seed=4, connected=False)
+    result = simulate_app(spec_cc(graph))
+    assert result.stats.commits > 0
+
+
+def test_lowering():
+    graph = random_graph(20, 30, seed=5)
+    ir = lower_spec(spec_cc(graph))
+    check_graph(ir)
+
+
+def test_disconnected_islands():
+    # Two disjoint triangles: labels must be each triangle's minimum.
+    edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+    graph = CSRGraph(6, edges, directed=False)
+    runtime = SequentialRuntime(spec_cc(graph))
+    runtime.run()
+    comp = np.asarray(runtime.state.region("comp").storage)
+    assert comp.tolist() == [0, 0, 0, 3, 3, 3]
+
+
+def test_single_vertex_components():
+    graph = CSRGraph(4, [], directed=False)
+    runtime = SequentialRuntime(spec_cc(graph))
+    runtime.run()
+    comp = np.asarray(runtime.state.region("comp").storage)
+    assert comp.tolist() == [0, 1, 2, 3]
+
+
+@settings(deadline=None, max_examples=8)
+@given(st.integers(0, 10_000))
+def test_property_random_graphs_verify_in_simulator(seed):
+    """Functional equivalence property: the accelerator's answer matches
+    the oracle on arbitrary (possibly disconnected) random graphs."""
+    graph = random_graph(30, 45, seed=seed, connected=False)
+    simulate_app(spec_cc(graph))  # verifies internally

@@ -1,0 +1,60 @@
+"""Tests for the COOR-SSSP extension benchmark (delta-stepping)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.coor_sssp import coor_sssp
+from repro.apps.registry import build_app
+from repro.core.futures_runtime import FuturesRuntime
+from repro.core.runtime import AggressiveRuntime, SequentialRuntime
+from repro.errors import SimulationError
+from repro.sim import simulate_app
+from repro.substrates.graphs import random_graph
+
+GRAPH = random_graph(80, 240, seed=81)
+
+
+def test_registered():
+    assert build_app("COOR-SSSP", GRAPH, 0).name == "COOR-SSSP"
+
+
+def test_sequential():
+    SequentialRuntime(coor_sssp(GRAPH, 0)).run()
+
+
+def test_aggressive():
+    AggressiveRuntime(coor_sssp(GRAPH, 0), workers=8).run()
+
+
+def test_threads():
+    FuturesRuntime(coor_sssp(GRAPH, 0), threads=4).run()
+
+
+def test_simulator():
+    result = simulate_app(coor_sssp(GRAPH, 0))
+    assert result.stats.commits > 0
+
+
+def test_invalid_delta():
+    with pytest.raises(SimulationError):
+        coor_sssp(GRAPH, 0, delta=0)
+
+
+@pytest.mark.parametrize("delta", [1, 16, 256, 10_000])
+def test_any_bucket_width_is_correct(delta):
+    """The gate only orders work; every delta converges to Dijkstra."""
+    SequentialRuntime(coor_sssp(GRAPH, 0, delta=delta)).run()
+
+
+def test_coordination_improves_work_efficiency():
+    """Delta-stepping wastes fewer relaxations than speculation."""
+    coor = simulate_app(build_app("COOR-SSSP", GRAPH, 0))
+    spec = simulate_app(build_app("SPEC-SSSP", GRAPH, 0))
+    assert coor.stats.tasks_activated < spec.stats.tasks_activated
+
+
+@settings(deadline=None, max_examples=6)
+@given(st.integers(0, 10_000))
+def test_property_random_graphs(seed):
+    graph = random_graph(30, 80, seed=seed)
+    simulate_app(build_app("COOR-SSSP", graph, 0))

@@ -1,0 +1,81 @@
+"""Property-based end-to-end tests: random inputs, all execution engines.
+
+The framework's correctness criterion (Definition 4.3) is equivalence with
+sequential execution.  These properties run randomly generated inputs
+through the aggressive software runtime and the cycle-level accelerator —
+both verify internally against the oracle — over many seeds.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.registry import build_app
+from repro.core.runtime import AggressiveRuntime
+from repro.sim import simulate_app
+from repro.substrates.graphs import random_graph, rmat_graph
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(0, 10_000), st.integers(2, 12))
+def test_spec_bfs_any_graph_any_workers(seed, workers):
+    graph = random_graph(40, 90, seed=seed)
+    AggressiveRuntime(build_app("SPEC-BFS", graph, 0),
+                      workers=workers).run()
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(0, 10_000))
+def test_spec_sssp_simulator_matches_dijkstra(seed):
+    graph = random_graph(30, 70, seed=seed)
+    simulate_app(build_app("SPEC-SSSP", graph, 0))
+
+
+@settings(deadline=None, max_examples=8)
+@given(st.integers(0, 10_000))
+def test_coor_bfs_simulator_matches_oracle(seed):
+    graph = random_graph(30, 70, seed=seed)
+    simulate_app(build_app("COOR-BFS", graph, 0))
+
+
+@settings(deadline=None, max_examples=8)
+@given(st.integers(0, 10_000))
+def test_spec_mst_simulator_matches_kruskal(seed):
+    graph = random_graph(35, 90, seed=seed)
+    simulate_app(build_app("SPEC-MST", graph))
+
+
+@settings(deadline=None, max_examples=6)
+@given(st.integers(2, 4), st.integers(3, 6), st.integers(0, 100))
+def test_coor_lu_simulator_any_shape(grid, block, seed):
+    simulate_app(build_app("COOR-LU", grid=grid, block_size=block,
+                           density=0.5, seed=seed))
+
+
+@settings(deadline=None, max_examples=5)
+@given(st.integers(0, 1000))
+def test_spec_dmr_simulator_any_cloud(seed):
+    simulate_app(build_app("SPEC-DMR", n_points=30, seed=seed))
+
+
+@settings(deadline=None, max_examples=5)
+@given(st.integers(0, 1000), st.floats(1.0, 8.0))
+def test_bandwidth_never_breaks_correctness(seed, bandwidth):
+    """Timing knobs must never change functional results."""
+    from repro.eval.platforms import EVAL_HARP
+
+    graph = rmat_graph(6, 6, seed=seed)
+    simulate_app(build_app("SPEC-BFS", graph, 0),
+                 platform=EVAL_HARP.scaled(bandwidth))
+
+
+@settings(deadline=None, max_examples=5)
+@given(st.integers(1, 3), st.booleans(), st.integers(2, 16))
+def test_microarch_knobs_never_break_correctness(replicas, ooo, station):
+    from repro.sim.accelerator import SimConfig
+
+    graph = random_graph(25, 60, seed=99)
+    simulate_app(
+        build_app("SPEC-SSSP", graph, 0),
+        config=SimConfig(out_of_order=ooo, station_depth=station),
+        replicas={"relax": replicas},
+    )

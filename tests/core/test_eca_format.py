@@ -1,0 +1,117 @@
+"""Round-trip tests for the ECA pretty-printer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.eca import (
+    BinaryOp,
+    EventField,
+    Literal,
+    ParamRef,
+    UnaryOp,
+    parse_rule,
+)
+from repro.core.eca_format import format_expr, format_rule
+
+RULES = [
+    """
+rule conflict(my_index, addr):
+    on reach update.setLevel
+        if event.addr == addr and event.index < my_index
+        do return false
+    otherwise return true
+""",
+    """
+rule gate(k) requires ready:
+    on reach t.commit if event.k == k do satisfy ready
+    otherwise return true
+""",
+    """
+rule fast():
+    otherwise immediately return true
+""",
+    """
+rule multi(a, b) requires x, y:
+    on activate t or reach u.done
+        if event.v + 1 < a * 2 or not b
+        do satisfy x
+    on reach u.done if event.cavity overlaps a do satisfy y
+    otherwise return false
+""",
+]
+
+
+@pytest.mark.parametrize("source", RULES)
+def test_round_trip_parse_format_parse(source):
+    first = parse_rule(source)
+    rendered = format_rule(first)
+    second = parse_rule(rendered)
+    assert first.name == second.name
+    assert first.params == second.params
+    assert first.requires == second.requires
+    assert first.otherwise == second.otherwise
+    assert first.immediate == second.immediate
+    assert len(first.clauses) == len(second.clauses)
+    for a, b in zip(first.clauses, second.clauses):
+        assert a.events == b.events
+        assert a.action == b.action
+        assert a.condition == b.condition
+
+
+class TestFormatExpr:
+    def test_literal_booleans(self):
+        assert format_expr(Literal(True)) == "true"
+        assert format_expr(Literal(False)) == "false"
+
+    def test_numbers(self):
+        assert format_expr(Literal(42)) == "42"
+
+    def test_event_field(self):
+        assert format_expr(EventField("addr")) == "event.addr"
+
+    def test_parenthesization_or_under_and(self):
+        expr = BinaryOp("and", BinaryOp("or", ParamRef("a"), ParamRef("b")),
+                        ParamRef("c"))
+        assert format_expr(expr) == "(a or b) and c"
+
+    def test_no_spurious_parens(self):
+        expr = BinaryOp("or", ParamRef("a"),
+                        BinaryOp("and", ParamRef("b"), ParamRef("c")))
+        assert format_expr(expr) == "a or b and c"
+
+    def test_not_precedence(self):
+        expr = UnaryOp("not", BinaryOp("or", ParamRef("a"), ParamRef("b")))
+        assert format_expr(expr) == "not (a or b)"
+
+
+# -- property: random expressions round-trip through the parser -------------
+
+_names = st.sampled_from(["a", "b", "c", "zz"])
+
+
+def _exprs(depth: int):
+    leaf = st.one_of(
+        st.integers(0, 99).map(Literal),
+        _names.map(ParamRef),
+        st.sampled_from(["addr", "index", "v"]).map(EventField),
+    )
+    if depth == 0:
+        return leaf
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        leaf,
+        st.tuples(st.sampled_from(["+", "*", "<", "==", "and", "or"]),
+                  sub, sub).map(lambda t: BinaryOp(*t)),
+        sub.map(lambda e: UnaryOp("not", e)),
+    )
+
+
+@given(_exprs(3))
+def test_random_expr_round_trips(expr):
+    source = (
+        "rule r(a, b, c, zz):\n"
+        f"    on reach t.x if {format_expr(expr)} do return false\n"
+        "    otherwise return true"
+    )
+    ast = parse_rule(source)
+    assert ast.clauses[0].condition == expr

@@ -1,0 +1,121 @@
+"""Tests for M-tuple well-order indices and loop nests (Figure 5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.indexing import LoopNest, TaskIndex
+from repro.errors import SpecificationError
+
+
+class TestTaskIndex:
+    def test_lexicographic_order(self):
+        assert TaskIndex((0, 5)).earlier_than(TaskIndex((1, 0)))
+        assert not TaskIndex((1, 0)).earlier_than(TaskIndex((0, 5)))
+
+    def test_equal_indices_not_earlier(self):
+        a, b = TaskIndex((2, 0)), TaskIndex((2, 0))
+        assert not a.earlier_than(b)
+        assert not b.earlier_than(a)
+        assert a == b
+
+    def test_left_position_dominates(self):
+        assert TaskIndex((1, 99)).earlier_than(TaskIndex((2, 0)))
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskIndex((-1, 0))
+
+    def test_prefix(self):
+        assert TaskIndex((3, 4, 5)).prefix(2) == (3, 4)
+
+    def test_str(self):
+        assert str(TaskIndex((1, 2))) == "{1, 2}"
+
+    def test_comparison_operators(self):
+        assert TaskIndex((0,)) < TaskIndex((1,))
+        assert min(TaskIndex((4,)), TaskIndex((2,))) == TaskIndex((2,))
+
+
+class TestLoopNest:
+    def test_single_for_each_counts(self):
+        nest = LoopNest([("visit", "for-each")])
+        assert nest.root_index("visit") == TaskIndex((0,))
+        assert nest.root_index("visit") == TaskIndex((1,))
+
+    def test_for_all_always_zero(self):
+        nest = LoopNest([("w", "for-all")])
+        assert nest.root_index("w") == TaskIndex((0,))
+        assert nest.root_index("w") == TaskIndex((0,))
+
+    def test_figure5_nesting(self):
+        # Figure 5: for-each update > for-each visit > for-all writeback.
+        nest = LoopNest([
+            ("update", "for-each"),
+            ("visit", "for-each"),
+            ("writeback", "for-all"),
+        ])
+        tu = nest.index_for("update", None)           # {0, 0, 0}
+        assert tu == TaskIndex((0, 0, 0))
+        tv = nest.index_for("visit", tu)              # {0, cv++, 0}
+        assert tv == TaskIndex((0, 0, 0))
+        tv2 = nest.index_for("visit", tu)
+        assert tv2 == TaskIndex((0, 1, 0))
+        tw = nest.index_for("writeback", tv2)         # {0, 1, 0}
+        assert tw == TaskIndex((0, 1, 0))
+        tu2 = nest.index_for("update", tv)            # {cu++, 0, 0}
+        assert tu2 == TaskIndex((1, 0, 0))
+
+    def test_inherited_prefix_truncated_at_child_position(self):
+        nest = LoopNest([("a", "for-each"), ("b", "for-all")])
+        parent = nest.index_for("a", None)
+        child = nest.index_for("b", parent)
+        assert child.positions[0] == parent.positions[0]
+
+    def test_counters_global_not_per_parent(self):
+        nest = LoopNest([("a", "for-each"), ("b", "for-each")])
+        p1 = nest.index_for("a", None)
+        p2 = nest.index_for("a", None)
+        c1 = nest.index_for("b", p1)
+        c2 = nest.index_for("b", p2)
+        # Global counter: c2's b-position continues from c1's.
+        assert c2.positions[1] == c1.positions[1] + 1
+
+    def test_reset(self):
+        nest = LoopNest([("a", "for-each")])
+        nest.index_for("a", None)
+        nest.reset()
+        assert nest.index_for("a", None) == TaskIndex((0,))
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SpecificationError):
+            LoopNest([("a", "for-each"), ("a", "for-all")])
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecificationError):
+            LoopNest([("a", "while")])
+
+    def test_unknown_loop_rejected(self):
+        nest = LoopNest([("a", "for-each")])
+        with pytest.raises(SpecificationError):
+            nest.index_for("zzz", None)
+
+    def test_empty_nest_rejected(self):
+        with pytest.raises(SpecificationError):
+            LoopNest([])
+
+
+@given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=2,
+                max_size=30))
+def test_well_order_is_total_and_transitive(pairs):
+    indices = [TaskIndex(p) for p in pairs]
+    ordered = sorted(indices)
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert not later.earlier_than(earlier)
+
+
+@given(st.integers(1, 50))
+def test_for_each_sequence_strictly_increasing(n):
+    nest = LoopNest([("t", "for-each")])
+    indices = [nest.index_for("t", None) for _ in range(n)]
+    for a, b in zip(indices, indices[1:]):
+        assert a.earlier_than(b)

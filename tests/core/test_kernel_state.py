@@ -1,0 +1,193 @@
+"""Tests for kernel validation, op metadata, memory space, tasks, events."""
+
+import numpy as np
+import pytest
+
+from repro.core.events import Event, EventKind
+from repro.core.indexing import TaskIndex
+from repro.core.kernel import (
+    AllocRule,
+    Alu,
+    Call,
+    Const,
+    Enqueue,
+    Expand,
+    Guard,
+    Kernel,
+    Label,
+    Load,
+    Rendezvous,
+    Store,
+)
+from repro.core.state import MemorySpace
+from repro.core.task import (
+    LoopKind,
+    TaskInstance,
+    TaskSetDecl,
+    validate_task_data,
+)
+from repro.errors import SimulationError, SpecificationError
+
+
+class TestKernelValidation:
+    def test_valid_kernel(self):
+        Kernel("t", [
+            AllocRule("r", lambda env: {}),
+            Rendezvous("rv"),
+        ]).validate()
+
+    def test_rendezvous_without_alloc_rejected(self):
+        with pytest.raises(SpecificationError):
+            Kernel("t", [Rendezvous("rv")]).validate()
+
+    def test_duplicate_rendezvous_labels_rejected(self):
+        kernel = Kernel("t", [
+            AllocRule("r", lambda env: {}),
+            Rendezvous("rv"),
+            AllocRule("r", lambda env: {}),
+            Rendezvous("rv"),
+        ])
+        with pytest.raises(SpecificationError):
+            kernel.validate()
+
+    def test_control_op_in_epilogue_rejected(self):
+        kernel = Kernel("t", [
+            Guard(lambda env: True, else_ops=(
+                Expand(lambda env, state: []),
+            )),
+        ])
+        with pytest.raises(SpecificationError):
+            kernel.validate()
+
+    def test_op_counts(self):
+        kernel = Kernel("t", [
+            Const("c", 1),
+            Guard(lambda env: True, else_ops=(Const("d", 2),)),
+        ])
+        counts = kernel.op_counts()
+        assert counts["const"] == 2
+        assert counts["guard"] == 1
+
+    def test_alloc_rule_resolve(self):
+        static = AllocRule("fixed", lambda env: {})
+        assert static.resolve({}) == "fixed"
+        dynamic = AllocRule(lambda env: f"gate{env['k']}", lambda env: {})
+        assert dynamic.resolve({"k": 3}) == "gate3"
+
+    def test_op_names(self):
+        assert Const("c", 1).op_name() == "const"
+        assert Load("d", "r", lambda env: 0).op_name() == "load"
+        assert Label("x").op_name() == "label"
+        assert Call(lambda env, state: None).op_name() == "call"
+        assert Store("r", lambda env: 0, lambda env: 1).op_name() == "store"
+        assert Alu("d", lambda env: 1).op_name() == "alu"
+        assert Enqueue("t", lambda env: {}).op_name() == "enqueue"
+
+
+class TestMemorySpace:
+    def test_array_region_load_store(self):
+        state = MemorySpace()
+        state.add_array("a", np.zeros(8, dtype=np.int64))
+        state.store("a", 3, 7)
+        assert state.load("a", 3) == 7
+
+    def test_region_addresses_disjoint(self):
+        state = MemorySpace()
+        state.add_array("a", np.zeros(8))
+        state.add_array("b", np.zeros(8))
+        assert state.address("b", 0) > state.address("a", 7)
+
+    def test_address_arithmetic(self):
+        state = MemorySpace()
+        state.add_array("a", np.zeros(8), element_bytes=4)
+        assert state.address("a", 2) - state.address("a", 0) == 8
+
+    def test_duplicate_region_rejected(self):
+        state = MemorySpace()
+        state.add_array("a", np.zeros(2))
+        with pytest.raises(SimulationError):
+            state.add_array("a", np.zeros(2))
+
+    def test_object_region(self):
+        state = MemorySpace()
+        payload = {"k": 1}
+        state.add_object("obj", payload)
+        assert state.object("obj") is payload
+
+    def test_unknown_region(self):
+        with pytest.raises(SimulationError):
+            MemorySpace().load("ghost", 0)
+
+    def test_contains_and_names(self):
+        state = MemorySpace()
+        state.add_array("a", np.zeros(2))
+        assert "a" in state
+        assert "zz" not in state
+        assert state.names() == ["a"]
+
+
+class TestTaskDecl:
+    def test_entry_bits_default(self):
+        decl = TaskSetDecl("t", LoopKind.FOR_EACH, ("a", "b"))
+        assert decl.entry_bits == 64
+
+    def test_entry_bits_explicit(self):
+        decl = TaskSetDecl("t", LoopKind.FOR_ALL, ("a", "b"),
+                           field_bits=(16, 48))
+        assert decl.entry_bits == 64
+
+    def test_duplicate_fields_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskSetDecl("t", LoopKind.FOR_EACH, ("a", "a"))
+
+    def test_mismatched_field_bits_rejected(self):
+        with pytest.raises(SpecificationError):
+            TaskSetDecl("t", LoopKind.FOR_EACH, ("a",), field_bits=(8, 8))
+
+    def test_loop_kind_parse(self):
+        assert LoopKind.parse("for-all") is LoopKind.FOR_ALL
+        with pytest.raises(SpecificationError):
+            LoopKind.parse("while")
+
+    def test_validate_task_data(self):
+        decl = TaskSetDecl("t", LoopKind.FOR_EACH, ("a",))
+        validate_task_data(decl, {"a": 1})
+        with pytest.raises(SpecificationError):
+            validate_task_data(decl, {"b": 1})
+
+
+class TestTaskInstance:
+    def test_sort_key_orders_by_index(self):
+        early = TaskInstance("t", TaskIndex((0,)), {})
+        late = TaskInstance("t", TaskIndex((1,)), {})
+        assert early.sort_key() < late.sort_key()
+
+    def test_uid_breaks_ties(self):
+        a = TaskInstance("t", TaskIndex((0,)), {})
+        b = TaskInstance("t", TaskIndex((0,)), {})
+        assert a.sort_key() != b.sort_key()
+
+    def test_with_fields(self):
+        task = TaskInstance("t", TaskIndex((0,)), {"x": 1})
+        clone = task.with_fields(x=2, y=3)
+        assert clone.data == {"x": 2, "y": 3}
+        assert clone.uid == task.uid
+        assert task.data == {"x": 1}
+
+    def test_getitem(self):
+        task = TaskInstance("t", TaskIndex((0,)), {"x": 9})
+        assert task["x"] == 9
+
+
+class TestEvents:
+    def test_matches_semantics(self):
+        event = Event(EventKind.REACH, "t", "commit", TaskIndex((0,)), {})
+        assert event.matches(EventKind.REACH, "t", "commit")
+        assert event.matches(EventKind.REACH, "", "commit")
+        assert event.matches(EventKind.REACH, "t", "")
+        assert not event.matches(EventKind.ACTIVATE, "t", "commit")
+
+    def test_field_access(self):
+        event = Event(EventKind.ACTIVATE, "t", "", TaskIndex((0,)),
+                      {"x": 3})
+        assert event.field("x") == 3

@@ -1,0 +1,114 @@
+"""Tests for rule instances, verdicts, and event patterns."""
+
+import pytest
+
+from repro.core.eca import compile_rule
+from repro.core.events import Event, EventKind
+from repro.core.indexing import TaskIndex
+from repro.core.rule import EventPattern, RuleVerdict
+
+
+def _reach(task_set, label, index=(0,), **payload):
+    return Event(EventKind.REACH, task_set, label, TaskIndex(index), payload)
+
+
+def _activate(task_set, index=(0,), **payload):
+    return Event(EventKind.ACTIVATE, task_set, "", TaskIndex(index), payload)
+
+
+class TestEventPattern:
+    def test_reach_matches_kind_set_label(self):
+        pattern = EventPattern(EventKind.REACH, "t", "commit")
+        assert pattern.matches(_reach("t", "commit"))
+        assert not pattern.matches(_reach("t", "other"))
+        assert not pattern.matches(_reach("u", "commit"))
+        assert not pattern.matches(_activate("t"))
+
+    def test_empty_label_matches_any_reach(self):
+        pattern = EventPattern(EventKind.REACH, "t", "")
+        assert pattern.matches(_reach("t", "anything"))
+
+    def test_empty_task_set_matches_any(self):
+        pattern = EventPattern(EventKind.ACTIVATE, "", "")
+        assert pattern.matches(_activate("whatever"))
+
+
+RULE = """
+rule r(my_index, a):
+    on reach t.commit if event.x == a do return false
+    otherwise return true
+"""
+
+
+class TestVerdicts:
+    def test_pending_initially(self):
+        inst = compile_rule(RULE).instantiate(TaskIndex((0,)), {"a": 1})
+        assert inst.verdict is RuleVerdict.PENDING
+        assert not inst.returned
+
+    def test_clause_verdict(self):
+        inst = compile_rule(RULE).instantiate(TaskIndex((0,)), {"a": 1})
+        inst.observe(_reach("t", "commit", x=1))
+        assert inst.verdict is RuleVerdict.CLAUSE
+        assert inst.value is False
+
+    def test_otherwise_verdict(self):
+        inst = compile_rule(RULE).instantiate(TaskIndex((0,)), {"a": 1})
+        inst.trigger_otherwise()
+        assert inst.verdict is RuleVerdict.OTHERWISE
+        assert inst.value is True
+
+    def test_requires_verdict(self):
+        source = (
+            "rule g() requires done:\n"
+            "  on reach t.c do satisfy done\n"
+            "  otherwise return true"
+        )
+        inst = compile_rule(source).instantiate(TaskIndex((0,)), {})
+        inst.observe(_reach("t", "c"))
+        assert inst.verdict is RuleVerdict.REQUIRES
+        assert inst.value is True
+
+    def test_observe_after_return_is_stable(self):
+        inst = compile_rule(RULE).instantiate(TaskIndex((0,)), {"a": 1})
+        inst.trigger_otherwise()
+        inst.observe(_reach("t", "commit", x=1))
+        assert inst.value is True  # verdict does not flip
+
+    def test_events_ignored_by_wrong_label(self):
+        inst = compile_rule(RULE).instantiate(TaskIndex((0,)), {"a": 1})
+        assert inst.observe(_reach("t", "nope", x=1)) is None
+
+    def test_clause_order_first_match_wins(self):
+        source = (
+            "rule r(a):\n"
+            "  on reach t.c if event.x == a do return false\n"
+            "  on reach t.c do return true\n"
+            "  otherwise return false"
+        )
+        rule_type = compile_rule(source)
+        hit = rule_type.instantiate(TaskIndex((0,)), {"a": 7})
+        assert hit.observe(_reach("t", "c", x=7)) is False
+        miss = rule_type.instantiate(TaskIndex((0,)), {"a": 7})
+        assert miss.observe(_reach("t", "c", x=8)) is True
+
+    def test_index_comparison_in_condition(self):
+        source = (
+            "rule r(my_index):\n"
+            "  on reach t.c if event.index < my_index do return false\n"
+            "  otherwise return true"
+        )
+        inst = compile_rule(source).instantiate(TaskIndex((5,)), {})
+        assert inst.observe(_reach("t", "c", index=(9,))) is None
+        assert inst.observe(_reach("t", "c", index=(3,))) is False
+
+
+class TestImmediateRules:
+    def test_immediate_flag_compiled(self):
+        rule_type = compile_rule(
+            "rule r():\n  otherwise immediately return true"
+        )
+        assert rule_type.immediate
+
+    def test_non_immediate_by_default(self):
+        assert not compile_rule(RULE).immediate

@@ -1,0 +1,242 @@
+"""Tests for the software runtimes: sequential and aggressive interpreters."""
+
+import pytest
+
+from repro.core.eca import compile_rule
+from repro.core.kernel import (
+    AllocRule,
+    Alu,
+    Call,
+    Const,
+    Enqueue,
+    Expand,
+    Guard,
+    Kernel,
+    Load,
+    Rendezvous,
+    Store,
+)
+from repro.core.runtime import AggressiveRuntime, SequentialRuntime
+from repro.core.spec import ApplicationSpec, make_task_sets
+from repro.core.state import MemorySpace
+from repro.errors import SchedulingError
+
+ALWAYS_TRUE = compile_rule("rule ok():\n  otherwise return true")
+ALWAYS_FALSE = compile_rule("rule nope():\n  otherwise return false")
+
+
+def _simple_spec(ops, fields=("x",), initial=None, rules=None, verify=None,
+                 **spec_kwargs):
+    """One-task-set spec over a tiny array state."""
+    import numpy as np
+
+    def make_state():
+        state = MemorySpace()
+        state.add_array("mem", np.zeros(64, dtype=np.int64))
+        return state
+
+    return ApplicationSpec(
+        name="toy",
+        mode="speculative",
+        task_sets=make_task_sets([("t", "for-each", fields)]),
+        kernels={"t": Kernel("t", list(ops))},
+        rules=rules or {"ok": ALWAYS_TRUE},
+        make_state=make_state,
+        initial_tasks=lambda state: initial or [("t", {"x": 1})],
+        verify=verify or (lambda state: None),
+        **spec_kwargs,
+    )
+
+
+class TestSequential:
+    def test_const_and_store(self):
+        spec = _simple_spec([
+            Const("v", 42),
+            Store("mem", lambda env: 0, lambda env: env["v"]),
+        ])
+        runtime = SequentialRuntime(spec)
+        runtime.run()
+        assert runtime.state.load("mem", 0) == 42
+
+    def test_alu_computation(self):
+        spec = _simple_spec([
+            Alu("y", lambda env: env["x"] * 3 + 1),
+            Store("mem", lambda env: 1, lambda env: env["y"]),
+        ])
+        runtime = SequentialRuntime(spec)
+        runtime.run()
+        assert runtime.state.load("mem", 1) == 4
+
+    def test_load_reads_state(self):
+        spec = _simple_spec([
+            Store("mem", lambda env: 5, lambda env: 99),
+            Load("got", "mem", lambda env: 5),
+            Store("mem", lambda env: 6, lambda env: env["got"] + 1),
+        ])
+        runtime = SequentialRuntime(spec)
+        runtime.run()
+        assert runtime.state.load("mem", 6) == 100
+
+    def test_guard_true_continues(self):
+        spec = _simple_spec([
+            Guard(lambda env: env["x"] == 1),
+            Store("mem", lambda env: 0, lambda env: 7),
+        ])
+        runtime = SequentialRuntime(spec)
+        stats = runtime.run()
+        assert runtime.state.load("mem", 0) == 7
+        assert stats.tasks_guard_dropped == 0
+
+    def test_guard_false_drops(self):
+        spec = _simple_spec([
+            Guard(lambda env: env["x"] == 2),
+            Store("mem", lambda env: 0, lambda env: 7),
+        ])
+        runtime = SequentialRuntime(spec)
+        stats = runtime.run()
+        assert runtime.state.load("mem", 0) == 0
+        assert stats.tasks_guard_dropped == 1
+
+    def test_guard_else_ops_run(self):
+        spec = _simple_spec([
+            Guard(lambda env: False, else_ops=(
+                Store("mem", lambda env: 2, lambda env: 11),
+            )),
+            Store("mem", lambda env: 0, lambda env: 7),
+        ])
+        runtime = SequentialRuntime(spec)
+        runtime.run()
+        assert runtime.state.load("mem", 2) == 11
+        assert runtime.state.load("mem", 0) == 0
+
+    def test_expand_multiplies_work(self):
+        spec = _simple_spec([
+            Expand(lambda env, state: [{"i": k} for k in range(4)]),
+            Store("mem", lambda env: env["i"], lambda env: 1),
+        ])
+        runtime = SequentialRuntime(spec)
+        runtime.run()
+        assert [runtime.state.load("mem", i) for i in range(4)] == [1] * 4
+
+    def test_expand_empty_kills_token(self):
+        spec = _simple_spec([
+            Expand(lambda env, state: []),
+            Store("mem", lambda env: 0, lambda env: 1),
+        ])
+        runtime = SequentialRuntime(spec)
+        runtime.run()
+        assert runtime.state.load("mem", 0) == 0
+
+    def test_enqueue_chains_tasks(self):
+        spec = _simple_spec([
+            Store("mem", lambda env: env["x"], lambda env: 1),
+            Enqueue("t", lambda env: {"x": env["x"] + 1},
+                    when=lambda env: env["x"] < 5),
+        ])
+        runtime = SequentialRuntime(spec)
+        stats = runtime.run()
+        assert stats.tasks_executed == 5
+        assert [runtime.state.load("mem", i) for i in range(1, 6)] == [1] * 5
+
+    def test_rendezvous_commits_via_otherwise(self):
+        spec = _simple_spec([
+            AllocRule("ok", lambda env: {}),
+            Rendezvous("rv"),
+            Store("mem", lambda env: 0, lambda env: 1),
+        ])
+        runtime = SequentialRuntime(spec)
+        runtime.run()
+        assert runtime.state.load("mem", 0) == 1
+
+    def test_rendezvous_abort_path(self):
+        spec = _simple_spec(
+            [
+                AllocRule("nope", lambda env: {}),
+                Rendezvous("rv", abort_ops=(
+                    Store("mem", lambda env: 3, lambda env: 8),
+                )),
+                Store("mem", lambda env: 0, lambda env: 1),
+            ],
+            rules={"nope": ALWAYS_FALSE},
+        )
+        runtime = SequentialRuntime(spec)
+        stats = runtime.run()
+        assert runtime.state.load("mem", 3) == 8
+        assert runtime.state.load("mem", 0) == 0
+        assert stats.tasks_squashed == 1
+
+    def test_combining_store(self):
+        spec = _simple_spec([
+            Store("mem", lambda env: 0, lambda env: 5, combine=max,
+                  dst="old"),
+            Store("mem", lambda env: 1, lambda env: env["old"]),
+        ])
+        runtime = SequentialRuntime(spec)
+        runtime.run()
+        assert runtime.state.load("mem", 0) == 5
+        assert runtime.state.load("mem", 1) == 0
+
+    def test_call_updates_env(self):
+        spec = _simple_spec([
+            Call(lambda env, state: {"y": env["x"] + 10}),
+            Store("mem", lambda env: 0, lambda env: env["y"]),
+        ])
+        runtime = SequentialRuntime(spec)
+        runtime.run()
+        assert runtime.state.load("mem", 0) == 11
+
+    def test_verify_runs(self):
+        flagged = []
+        spec = _simple_spec(
+            [Store("mem", lambda env: 0, lambda env: 1)],
+            verify=lambda state: flagged.append(True),
+        )
+        SequentialRuntime(spec).run()
+        assert flagged == [True]
+
+
+class TestAggressive:
+    def test_matches_sequential_result(self):
+        def build():
+            return _simple_spec([
+                Store("mem", lambda env: env["x"], lambda env: env["x"] * 2),
+                Enqueue("t", lambda env: {"x": env["x"] + 1},
+                        when=lambda env: env["x"] < 10),
+            ])
+
+        seq = SequentialRuntime(build())
+        seq.run()
+        agg = AggressiveRuntime(build(), workers=4)
+        agg.run()
+        for i in range(1, 11):
+            assert agg.state.load("mem", i) == seq.state.load("mem", i)
+
+    def test_workers_must_be_positive(self):
+        spec = _simple_spec([Const("v", 1)])
+        with pytest.raises(SchedulingError):
+            AggressiveRuntime(spec, workers=0)
+
+    def test_stats_count_commits(self):
+        spec = _simple_spec([
+            Store("mem", lambda env: 0, lambda env: 1),
+        ])
+        agg = AggressiveRuntime(spec, workers=2)
+        stats = agg.run()
+        assert stats.tasks_committed == 1
+        assert stats.squash_fraction == 0.0
+
+    def test_immediate_rule_resolves_without_minimum(self):
+        immediate = compile_rule(
+            "rule fast():\n  otherwise immediately return true"
+        )
+        spec = _simple_spec(
+            [
+                AllocRule("fast", lambda env: {}),
+                Rendezvous("rv"),
+                Store("mem", lambda env: 0, lambda env: 1),
+            ],
+            rules={"fast": immediate},
+        )
+        agg = AggressiveRuntime(spec, workers=2)
+        agg.run()
+        assert agg.state.load("mem", 0) == 1

@@ -1,0 +1,112 @@
+"""Tests for ApplicationSpec validation and the index minter."""
+
+import numpy as np
+import pytest
+
+from repro.core.eca import compile_rule
+from repro.core.indexing import TaskIndex
+from repro.core.kernel import Const, Kernel
+from repro.core.spec import ApplicationSpec, IndexMinter, make_task_sets
+from repro.core.state import MemorySpace
+from repro.errors import SpecificationError
+
+OK_RULE = compile_rule("rule ok():\n  otherwise return true")
+
+
+def _spec(**overrides):
+    kwargs = dict(
+        name="toy",
+        mode="speculative",
+        task_sets=make_task_sets([("t", "for-each", ("x",))]),
+        kernels={"t": Kernel("t", [Const("v", 1)])},
+        rules={"ok": OK_RULE},
+        make_state=MemorySpace,
+        initial_tasks=lambda state: [("t", {"x": 0})],
+        verify=lambda state: None,
+    )
+    kwargs.update(overrides)
+    return ApplicationSpec(**kwargs)
+
+
+class TestValidation:
+    def test_valid_spec_builds(self):
+        assert _spec().name == "toy"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SpecificationError):
+            _spec(mode="optimistic")
+
+    def test_bad_otherwise_scope_rejected(self):
+        with pytest.raises(SpecificationError):
+            _spec(otherwise_scope="engine")
+
+    def test_kernels_must_match_task_sets(self):
+        with pytest.raises(SpecificationError):
+            _spec(kernels={"other": Kernel("other", [])})
+
+    def test_priority_field_must_exist(self):
+        with pytest.raises(SpecificationError):
+            _spec(priority_fields={"t": "nope"})
+
+    def test_priority_field_unknown_set_rejected(self):
+        with pytest.raises(SpecificationError):
+            _spec(priority_fields={"zz": "x"})
+
+    def test_make_task_sets_order_preserved(self):
+        sets = make_task_sets([
+            ("a", "for-each", ("f",)),
+            ("b", "for-all", ("g",)),
+        ])
+        assert list(sets) == ["a", "b"]
+
+    def test_rule_for_rendezvous_mapping(self):
+        from repro.core.kernel import AllocRule, Rendezvous
+
+        kernel = Kernel("t", [
+            AllocRule("ok", lambda env: {}),
+            Rendezvous("rv"),
+        ])
+        spec = _spec(kernels={"t": kernel})
+        assert spec.rule_for_rendezvous(kernel) == {"rv": "ok"}
+
+
+class TestIndexMinter:
+    def test_for_each_counter(self):
+        minter = _spec().make_loop_nest()
+        a = minter.mint("t", {"x": 0}, None)
+        b = minter.mint("t", {"x": 0}, None)
+        assert a.earlier_than(b)
+
+    def test_priority_override(self):
+        spec = _spec(priority_fields={"t": "x"})
+        minter = spec.make_loop_nest()
+        high = minter.mint("t", {"x": 9}, None)
+        low = minter.mint("t", {"x": 2}, None)
+        assert low.earlier_than(high)
+        assert low == TaskIndex((2,))
+
+    def test_priority_ties(self):
+        spec = _spec(priority_fields={"t": "x"})
+        minter = spec.make_loop_nest()
+        a = minter.mint("t", {"x": 3}, None)
+        b = minter.mint("t", {"x": 3}, None)
+        assert a == b
+
+    def test_reset(self):
+        minter = _spec().make_loop_nest()
+        minter.mint("t", {"x": 0}, None)
+        minter.reset()
+        assert minter.mint("t", {"x": 0}, None) == TaskIndex((0,))
+
+    def test_width_matches_task_sets(self):
+        spec = _spec(
+            task_sets=make_task_sets([
+                ("t", "for-each", ("x",)),
+                ("u", "for-all", ("y",)),
+            ]),
+            kernels={
+                "t": Kernel("t", [Const("v", 1)]),
+                "u": Kernel("u", [Const("v", 1)]),
+            },
+        )
+        assert spec.make_loop_nest().width == 2

@@ -1,0 +1,156 @@
+"""Tests for the workload profiles and Xeon timing models."""
+
+import pytest
+
+from repro.cpu.counters import (
+    bfs_profile,
+    dmr_profile,
+    lu_profile,
+    mst_profile,
+    sssp_profile,
+)
+from repro.cpu.timing import (
+    _miss_fraction,
+    parallel_seconds,
+    sequential_seconds,
+    speedup_over,
+)
+from repro.eval.platforms import EVAL_XEON, XEON_E5_2680V2, XeonPlatform
+from repro.substrates.graphs import random_graph, road_network
+from repro.substrates.sparse.block import make_sparselu_instance
+
+GRAPH = random_graph(80, 240, seed=17)
+
+
+class TestProfiles:
+    def test_bfs_counts_all_edges(self):
+        profile = bfs_profile(GRAPH, 0)
+        # Connected graph: every directed edge is examined exactly once.
+        assert profile.notes["edges_examined"] == GRAPH.num_edges
+        assert profile.notes["visited"] == GRAPH.num_vertices
+
+    def test_bfs_rounds_equal_levels(self):
+        road = road_network(10, 6, seed=2, shortcut_fraction=0.0)
+        from repro.substrates.graphs.algorithms import INF, bfs_levels
+
+        levels = bfs_levels(road, 0)
+        profile = bfs_profile(road, 0)
+        assert profile.rounds == int(levels[levels < INF].max())
+
+    def test_sssp_counts_relaxations(self):
+        profile = sssp_profile(GRAPH, 0)
+        assert profile.notes["relaxations"] >= GRAPH.num_edges
+        assert profile.tasks == profile.notes["pops"]
+
+    def test_mst_counts_unions(self):
+        profile = mst_profile(GRAPH)
+        assert profile.notes["unions"] == GRAPH.num_vertices - 1
+
+    def test_dmr_counts_refinements(self):
+        profile = dmr_profile(60, seed=5)
+        assert profile.tasks == profile.notes["refinements"]
+        assert profile.notes["avg_cavity"] >= 1.0
+
+    def test_lu_flops_scale_with_block(self):
+        small = lu_profile(make_sparselu_instance(4, 4, 0.4, seed=1))
+        big = lu_profile(make_sparselu_instance(4, 8, 0.4, seed=1))
+        assert big.flops > 4 * small.flops
+
+    def test_profiles_deterministic(self):
+        assert bfs_profile(GRAPH, 0).instructions == \
+            bfs_profile(GRAPH, 0).instructions
+
+
+class TestMissFraction:
+    def test_small_working_set_low_misses(self):
+        assert _miss_fraction(1024, 16 * 1024) < 0.15
+
+    def test_large_working_set_high_misses(self):
+        assert _miss_fraction(10 * 16 * 1024, 16 * 1024) > 0.5
+
+    def test_monotone_in_working_set(self):
+        llc = 16 * 1024
+        values = [_miss_fraction(ws, llc)
+                  for ws in (1024, 8192, 16384, 65536, 1 << 20)]
+        assert values == sorted(values)
+
+    def test_capped_below_one(self):
+        assert _miss_fraction(1 << 30, 1024) <= 0.85
+
+
+class TestTiming:
+    def test_sequential_positive(self):
+        assert sequential_seconds(bfs_profile(GRAPH, 0), EVAL_XEON) > 0
+
+    def test_parallel_faster_than_sequential(self):
+        profile = sssp_profile(GRAPH, 0)
+        assert parallel_seconds(profile, EVAL_XEON) < \
+            sequential_seconds(profile, EVAL_XEON)
+
+    def test_parallel_not_superlinear(self):
+        profile = sssp_profile(GRAPH, 0)
+        ratio = sequential_seconds(profile, EVAL_XEON) / parallel_seconds(
+            profile, EVAL_XEON
+        )
+        assert ratio <= EVAL_XEON.cores
+
+    def test_bandwidth_roof_binds_for_streaming(self):
+        from repro.cpu.counters import WorkloadProfile
+
+        profile = WorkloadProfile(
+            name="stream", tasks=10, instructions=100,
+            random_accesses=0, sequential_bytes=10 ** 9,
+            rounds=1, working_set_bytes=10 ** 9,
+        )
+        roof = 10 ** 9 / (EVAL_XEON.dram_bandwidth_gbps * 1e9)
+        assert parallel_seconds(profile, EVAL_XEON) >= roof
+
+    def test_bigger_llc_is_faster(self):
+        profile = bfs_profile(GRAPH, 0)
+        small = sequential_seconds(profile, EVAL_XEON)
+        big = sequential_seconds(profile, XEON_E5_2680V2)
+        assert big <= small
+
+    def test_core_count_parameter(self):
+        profile = sssp_profile(GRAPH, 0)
+        five = parallel_seconds(profile, EVAL_XEON, cores=5)
+        ten = parallel_seconds(profile, EVAL_XEON, cores=10)
+        assert ten <= five
+
+    def test_speedup_over(self):
+        assert speedup_over(2.0, 1.0) == 2.0
+        with pytest.raises(ValueError):
+            speedup_over(1.0, 0.0)
+
+    def test_flops_charged(self):
+        lu = lu_profile(make_sparselu_instance(6, 16, 0.4, seed=1))
+        no_flops = lu.__class__(**{**lu.__dict__, "flops": 0.0})
+        assert sequential_seconds(lu, EVAL_XEON) > \
+            sequential_seconds(no_flops, EVAL_XEON)
+
+
+class TestHlsBaseline:
+    def test_time_scales_with_levels(self):
+        from repro.hls_baseline.opencl_model import OpenClBfsModel
+
+        model = OpenClBfsModel()
+        shallow = random_graph(60, 400, seed=2)   # low diameter
+        deep = road_network(40, 4, seed=2, shortcut_fraction=0.0)
+        assert model.level_count(deep, 0) > model.level_count(shallow, 0)
+        assert model.seconds(deep, 0) > model.seconds(shallow, 0)
+
+    def test_launch_overhead_dominates_small_graphs(self):
+        from repro.hls_baseline.opencl_model import OpenClBfsModel
+
+        model = OpenClBfsModel()
+        graph = road_network(10, 4, seed=1, shortcut_fraction=0.0)
+        levels = model.level_count(graph, 0)
+        assert model.seconds(graph, 0) >= 2 * levels * \
+            model.launch_overhead_s
+
+    def test_zero_overhead_model_cheaper(self):
+        from repro.hls_baseline.opencl_model import OpenClBfsModel
+
+        graph = road_network(10, 6, seed=1)
+        cheap = OpenClBfsModel(launch_overhead_s=0.0)
+        assert cheap.seconds(graph, 0) < OpenClBfsModel().seconds(graph, 0)

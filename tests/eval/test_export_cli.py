@@ -1,0 +1,88 @@
+"""Tests for JSON export and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.eval.export import export_all, table1_to_dict
+from repro.eval.experiments import run_figure9, run_table1
+from repro.eval.workloads import default_workloads
+
+
+@pytest.fixture(scope="module")
+def small_table1():
+    return run_table1(width=14, height=4, seed=1)
+
+
+class TestExport:
+    def test_table1_dict(self, small_table1):
+        data = table1_to_dict(small_table1)
+        assert data["seconds"]["OpenCL"] > 0
+        assert data["ratios"]["opencl_vs_spec"] > 1
+        assert data["paper_seconds"]["OpenCL"] == 124.1
+
+    def test_export_all_writes_json(self, small_table1, tmp_path):
+        workloads = default_workloads(scale=0.3)
+        figure9 = run_figure9(apps=("COOR-LU",), workloads=workloads)
+        path = export_all(tmp_path / "out.json", table1=small_table1,
+                          figure9=figure9)
+        document = json.loads(path.read_text())
+        assert document["paper"].startswith("Li et al.")
+        assert "table1" in document
+        assert "COOR-LU" in document["figure9"]["rows"]
+
+    def test_partial_export(self, tmp_path):
+        path = export_all(tmp_path / "empty.json")
+        document = json.loads(path.read_text())
+        assert "table1" not in document
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "SPEC-BFS" in out
+        assert "COOR-LU" in out
+
+    def test_rules(self, capsys):
+        assert main(["rules", "SPEC-SSSP"]) == 0
+        out = capsys.readouterr().out
+        assert "rule relax_conflict" in out
+        assert "otherwise" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "SPEC-CC", "--workers", "4"]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_simulate_with_trace(self, capsys):
+        code = main([
+            "simulate", "SPEC-CC", "--trace", "--trace-cycles", "200",
+            "--trace-width", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert "#" in out  # the timeline
+
+    def test_simulate_with_prefetch(self, capsys):
+        assert main(["simulate", "SPEC-CC", "--prefetch"]) == 0
+        assert "VERIFIED" in capsys.readouterr().out
+
+    def test_experiment_table1_with_json(self, capsys, tmp_path):
+        target = str(tmp_path / "t1.json")
+        assert main(["experiment", "table1", "--json", target]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert json.loads(open(target).read())["table1"]
+
+    def test_dse(self, capsys):
+        code = main([
+            "dse", "SPEC-CC", "--replicas", "1", "--lanes", "16",
+        ])
+        assert code == 0
+        assert "Pareto" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

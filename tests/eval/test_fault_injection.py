@@ -1,0 +1,120 @@
+"""Fault injection: prove the verification oracles actually catch bugs.
+
+Every timing claim in this repository rests on runs that compute real
+answers and verify them.  These tests deliberately sabotage the
+computation — the combining function, the well-order, a block kernel — and
+assert the oracle rejects the run.  A reproduction whose checks cannot
+fail proves nothing.
+
+(Notably, some *timing*-level sabotages turn out benign under the
+simulator's deterministic schedules — e.g. releasing MST edges instantly
+still commits them in priority-pop order.  The ablation suite covers the
+schedules that do break; here we break the data path itself.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.bfs import spec_bfs
+from repro.apps.mst import spec_mst
+from repro.apps.sparselu import coor_lu
+from repro.core.kernel import Call, Store
+from repro.core.runtime import AggressiveRuntime
+from repro.errors import SimulationError
+from repro.sim import simulate_app
+from repro.substrates.graphs import random_graph
+
+GRAPH = random_graph(80, 240, seed=101)
+
+
+def test_wrong_combine_function_is_caught():
+    """max-combining instead of min: stale levels win, oracle fires."""
+    spec = spec_bfs(GRAPH, 0)
+    update = spec.kernels["update"]
+    store_index = next(
+        i for i, op in enumerate(update.ops) if isinstance(op, Store)
+    )
+    old: Store = update.ops[store_index]
+    update.ops[store_index] = Store(
+        region=old.region, addr=old.addr, value=old.value,
+        label=old.label, combine=max, dst=old.dst,
+    )
+    with pytest.raises(SimulationError):
+        simulate_app(spec)
+
+
+def test_corrupted_well_order_is_caught():
+    """Reverse the MST ranks: edges commit heaviest-first, weight wrong."""
+    spec = spec_mst(GRAPH)
+    original = spec.initial_tasks
+
+    def reversed_ranks(state):
+        tasks = original(state)
+        n = len(tasks)
+        return [
+            (task_set, {**fields, "rank": n - 1 - fields["rank"]})
+            for task_set, fields in tasks
+        ]
+
+    spec.initial_tasks = reversed_ranks
+    with pytest.raises(SimulationError):
+        simulate_app(spec)
+
+
+def test_skipped_block_kernel_is_caught():
+    """Drop every lu0 factorization: the LU residual check fires."""
+    spec = coor_lu(grid=6, block_size=6, density=0.5, seed=3)
+    kernel = spec.kernels["lutask"]
+    call_index = next(
+        i for i, op in enumerate(kernel.ops) if isinstance(op, Call)
+    )
+    old: Call = kernel.ops[call_index]
+
+    def skipping_fn(env, state):
+        if env["kind"] == 0:  # silently skip lu0
+            return {"ckind": env["kind"], "ck": env["k"],
+                    "ci": env["i"], "cj": env["j"]}
+        return old.fn(env, state)
+
+    kernel.ops[call_index] = Call(
+        fn=skipping_fn, cycles=old.cycles, traffic=old.traffic,
+        label=old.label, profile=old.profile,
+        completes_task=old.completes_task,
+    )
+    with pytest.raises(SimulationError):
+        simulate_app(spec)
+
+
+def test_corrupted_state_is_caught_by_verify():
+    """Verify callbacks inspect real state, not simulation bookkeeping."""
+    spec = spec_bfs(GRAPH, 0)
+    runtime = AggressiveRuntime(spec, workers=4)
+    # Sabotage the state before running: claim vertex 1 is at level 0.
+    runtime.state.store("level", 1, 0)
+    with pytest.raises(SimulationError):
+        runtime.run()
+
+
+def test_dropped_enqueue_is_caught():
+    """Suppress next-level visit activation: unreachable levels remain."""
+    from repro.core.kernel import Enqueue
+
+    spec = spec_bfs(GRAPH, 0)
+    update = spec.kernels["update"]
+    enqueue_index = next(
+        i for i, op in enumerate(update.ops) if isinstance(op, Enqueue)
+    )
+    old: Enqueue = update.ops[enqueue_index]
+    update.ops[enqueue_index] = Enqueue(
+        task_set=old.task_set, fields=old.fields,
+        when=lambda env: False,  # never activate the next level
+    )
+    with pytest.raises(SimulationError):
+        simulate_app(spec)
+
+
+def test_honest_runs_still_pass():
+    """Control: the unsabotaged specs all verify."""
+    simulate_app(spec_bfs(GRAPH, 0))
+    simulate_app(spec_mst(GRAPH))
+    simulate_app(coor_lu(grid=6, block_size=6, density=0.5, seed=3))

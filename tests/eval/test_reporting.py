@@ -1,0 +1,139 @@
+"""Tests for report formatting and simulation statistics helpers."""
+
+import pytest
+
+from repro.eval.experiments import (
+    Figure9Result,
+    Figure9Row,
+    Figure10Point,
+    Figure10Series,
+    ResourceRow,
+    Table1Result,
+)
+from repro.eval.reporting import (
+    format_figure9,
+    format_figure10,
+    format_resources,
+    format_table1,
+)
+from repro.sim.stats import SimStats
+
+
+def _table1():
+    return Table1Result(
+        opencl_seconds=2.0, spec_bfs_seconds=0.01, coor_bfs_seconds=0.02,
+        levels=12, graph="road 10x4",
+    )
+
+
+class TestFormatting:
+    def test_table1_contains_ratio(self):
+        text = format_table1(_table1())
+        assert "200.0x" in text
+        assert "road 10x4" in text
+
+    def test_table1_ratios(self):
+        result = _table1()
+        assert result.opencl_vs_spec == pytest.approx(200.0)
+        assert result.opencl_vs_coor == pytest.approx(100.0)
+
+    def test_figure9_rows_rendered(self):
+        result = Figure9Result(rows={
+            "SPEC-BFS": Figure9Row("SPEC-BFS", 0.001, 0.004, 0.0015, 0.2),
+        })
+        text = format_figure9(result)
+        assert "SPEC-BFS" in text
+        assert "4.00x" in text  # 0.004 / 0.001
+        assert "1.50x" in text
+
+    def test_figure10_series_rendered(self):
+        series = Figure10Series("COOR-LU", points=[
+            Figure10Point(1.0, 1e-3, 1.0, 0.01, 0.0),
+            Figure10Point(2.0, 5e-4, 2.0, 0.02, 0.0),
+        ])
+        text = format_figure10({"COOR-LU": series})
+        assert "COOR-LU" in text
+        assert "2.00" in text
+
+    def test_resources_rendered(self):
+        rows = {"SPEC-BFS": ResourceRow(
+            "SPEC-BFS", pipelines=8, rule_lanes=32,
+            rule_engine_register_share=0.07,
+            register_utilization=0.2, alm_utilization=0.4,
+            bram_utilization=0.05,
+        )}
+        text = format_resources(rows)
+        assert "7.0%" in text
+        assert "SPEC-BFS" in text
+
+    def test_figure10_series_accessors(self):
+        series = Figure10Series("x", points=[
+            Figure10Point(1.0, 1.0, 1.0, 0.1, 0.0),
+            Figure10Point(2.0, 0.5, 2.0, 0.2, 0.1),
+        ])
+        assert series.speedups() == [1.0, 2.0]
+        assert series.utilizations() == [0.1, 0.2]
+
+
+class TestSimStats:
+    def test_utilization_definition(self):
+        stats = SimStats(cycles=100, total_stages=10,
+                         active_stage_cycles=250)
+        assert stats.pipeline_utilization == 0.25
+
+    def test_utilization_empty(self):
+        assert SimStats().pipeline_utilization == 0.0
+
+    def test_squash_fraction(self):
+        stats = SimStats(commits=75, squashes=25)
+        assert stats.squash_fraction == 0.25
+
+    def test_squash_fraction_no_work(self):
+        assert SimStats().squash_fraction == 0.0
+
+    def test_seconds(self):
+        stats = SimStats(cycles=200_000_000)
+        assert stats.seconds(200e6) == pytest.approx(1.0)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        from repro import errors
+
+        assert issubclass(errors.EcaSyntaxError, errors.SpecificationError)
+        assert issubclass(errors.DeadlockError, errors.SimulationError)
+        assert issubclass(errors.ResourceError, errors.SynthesisError)
+        assert issubclass(errors.SynthesisError, errors.ReproError)
+
+    def test_eca_syntax_error_position(self):
+        from repro.errors import EcaSyntaxError
+
+        error = EcaSyntaxError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.column == 7
+
+    def test_deadlock_error_message(self):
+        from repro.errors import DeadlockError
+
+        error = DeadlockError(123, "stage x stuck")
+        assert "cycle 123" in str(error)
+        assert "stage x stuck" in str(error)
+
+
+class TestStageProfile:
+    def test_per_stage_stats_populated_after_run(self):
+        from repro.apps.registry import build_app
+        from repro.sim.accelerator import AcceleratorSim, SimConfig
+        from repro.substrates.graphs import random_graph
+
+        graph = random_graph(30, 60, seed=5)
+        sim = AcceleratorSim(build_app("SPEC-BFS", graph, 0),
+                             config=SimConfig())
+        result = sim.run()
+        assert result.stats.per_stage_active
+        assert set(result.stats.per_stage_active) == set(
+            result.stats.per_stage_stalls
+        )
+        # The load stage did real work.
+        load_keys = [k for k in result.stats.per_stage_active if "load" in k]
+        assert any(result.stats.per_stage_active[k] > 0 for k in load_keys)

@@ -1,0 +1,168 @@
+"""Tests for BDFG construction, lowering, passes, and dot export."""
+
+import pytest
+
+from repro.core.eca import compile_rule
+from repro.core.kernel import (
+    AllocRule,
+    Alu,
+    Enqueue,
+    Expand,
+    Guard,
+    Kernel,
+    Load,
+    Rendezvous,
+    Store,
+)
+from repro.core.spec import ApplicationSpec, make_task_sets
+from repro.core.state import MemorySpace
+from repro.errors import LoweringError
+from repro.ir import check_graph, lower_spec
+from repro.ir.bdfg import ActorKind, Bdfg
+from repro.ir.dot import to_dot
+from repro.ir.lowering import lower_kernel
+
+OK = compile_rule("rule ok():\n  otherwise return true")
+
+
+def _spec(kernel_ops, rules=None):
+    return ApplicationSpec(
+        name="toy",
+        mode="speculative",
+        task_sets=make_task_sets([("t", "for-each", ("x",))]),
+        kernels={"t": Kernel("t", list(kernel_ops))},
+        rules=rules or {"ok": OK},
+        make_state=MemorySpace,
+        initial_tasks=lambda state: [],
+        verify=lambda state: None,
+    )
+
+
+class TestLowering:
+    def test_linear_chain(self):
+        graph = lower_spec(_spec([
+            Alu("y", lambda env: 1),
+            Store("mem", lambda env: 0, lambda env: 1),
+        ]))
+        check_graph(graph)
+        stats = graph.stats()
+        assert stats["source"] == 1
+        assert stats["alu"] == 1
+        assert stats["store"] == 1
+        assert stats["sink"] == 1
+
+    def test_guard_gets_switch_and_sink(self):
+        graph = lower_spec(_spec([Guard(lambda env: True)]))
+        check_graph(graph)
+        assert graph.stats()["switch"] == 1
+        assert graph.stats()["sink"] == 2  # false sink + chain end
+
+    def test_rendezvous_needs_alloc(self):
+        graph = lower_spec(_spec([
+            AllocRule("ok", lambda env: {}),
+            Rendezvous("rv"),
+        ]))
+        check_graph(graph)
+
+    def test_rendezvous_without_alloc_fails_pass(self):
+        graph = Bdfg("bad")
+        kernel = Kernel("t", [Rendezvous("rv")])
+        # Kernel.validate would catch this; bypass it to exercise the pass.
+        lower_kernel(graph, kernel, prefix="t")
+        with pytest.raises(LoweringError):
+            check_graph(graph)
+
+    def test_abort_branch_lowered(self):
+        graph = lower_spec(_spec([
+            AllocRule("ok", lambda env: {}),
+            Rendezvous("rv", abort_ops=(
+                Enqueue("t", lambda env: {"x": 1}),
+            )),
+        ]))
+        check_graph(graph)
+        assert graph.stats()["enqueue"] == 1
+
+    def test_expand_actor(self):
+        graph = lower_spec(_spec([
+            Expand(lambda env, state: []),
+        ]))
+        check_graph(graph)
+        assert graph.stats()["expand"] == 1
+
+    def test_out_of_order_actors_identified(self):
+        graph = lower_spec(_spec([
+            AllocRule("ok", lambda env: {}),
+            Load("v", "mem", lambda env: 0),
+            Rendezvous("rv"),
+        ]))
+        kinds = {a.kind for a in graph.out_of_order_actors()}
+        assert kinds == {ActorKind.LOAD, ActorKind.RENDEZVOUS}
+
+
+class TestPasses:
+    def test_detects_missing_source(self):
+        graph = Bdfg("empty")
+        with pytest.raises(LoweringError):
+            check_graph(graph)
+
+    def test_detects_unreachable_actor(self):
+        graph = lower_spec(_spec([Alu("y", lambda env: 1)]))
+        graph.add(ActorKind.ALU, "orphan", op=None)
+        with pytest.raises(LoweringError):
+            check_graph(graph)
+
+    def test_detects_cycle(self):
+        graph = lower_spec(_spec([Alu("y", lambda env: 1)]))
+        alu = graph.by_kind(ActorKind.ALU)[0]
+        source = graph.sources()[0]
+        # Force an illegal back edge (also an illegal double-driver, so
+        # relax the port check by pointing at a fresh port name).
+        graph.channels.append(
+            type(graph.channels[0])(alu, "out", source, "loop")
+        )
+        with pytest.raises(LoweringError):
+            check_graph(graph)
+
+    def test_connect_foreign_actor_rejected(self):
+        graph_a = Bdfg("a")
+        graph_b = Bdfg("b")
+        actor_a = graph_a.add(ActorKind.ALU, "x", op=None)
+        actor_b = graph_b.add(ActorKind.SINK, "y")
+        with pytest.raises(LoweringError):
+            graph_a.connect(actor_a, actor_b)
+
+
+class TestDot:
+    def test_dot_contains_all_actors(self):
+        graph = lower_spec(_spec([
+            Alu("y", lambda env: 1),
+            Store("mem", lambda env: 0, lambda env: 1, label="commit"),
+        ]))
+        dot = to_dot(graph)
+        assert dot.startswith('digraph "toy"')
+        for name in graph.actors:
+            assert name in dot
+
+    def test_dot_marks_false_edges(self):
+        graph = lower_spec(_spec([Guard(lambda env: True)]))
+        assert 'label="false"' in to_dot(graph)
+
+
+class TestApplicationGraphs:
+    def test_all_benchmarks_lower_and_check(self):
+        from repro.apps.registry import build_app
+        from repro.substrates.graphs import random_graph
+
+        g = random_graph(30, 60, seed=1)
+        cases = [
+            ("SPEC-BFS", (g,), {}),
+            ("COOR-BFS", (g,), {}),
+            ("SPEC-SSSP", (g,), {}),
+            ("SPEC-MST", (g,), {}),
+            ("SPEC-DMR", (), {"n_points": 20}),
+            ("COOR-LU", (), {"grid": 3, "block_size": 4}),
+        ]
+        for name, args, kwargs in cases:
+            graph = lower_spec(build_app(name, *args, **kwargs))
+            check_graph(graph)
+            assert graph.sources(), name

@@ -1,0 +1,77 @@
+"""Cross-engine integration: all four execution engines, one answer.
+
+Definition 4.3's correctness criterion, checked directly: the sequential
+interpreter, the step-based aggressive runtime, the OS-thread futures
+runtime, and the cycle-level accelerator must produce byte-identical final
+state for applications with deterministic answers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.bfs import spec_bfs
+from repro.apps.sssp import spec_sssp
+from repro.core.futures_runtime import FuturesRuntime
+from repro.core.runtime import AggressiveRuntime, SequentialRuntime
+from repro.sim.accelerator import AcceleratorSim, SimConfig
+from repro.substrates.graphs import random_graph
+
+GRAPH = random_graph(70, 200, seed=61)
+
+
+def _final_array(engine: str, spec_builder, region: str) -> np.ndarray:
+    spec = spec_builder()
+    if engine == "sequential":
+        runtime = SequentialRuntime(spec)
+        runtime.run()
+        return np.array(runtime.state.region(region).storage)
+    if engine == "aggressive":
+        runtime = AggressiveRuntime(spec, workers=7)
+        runtime.run()
+        return np.array(runtime.state.region(region).storage)
+    if engine == "threads":
+        runtime = FuturesRuntime(spec, threads=5)
+        runtime.run()
+        return np.array(runtime.state.region(region).storage)
+    sim = AcceleratorSim(spec, config=SimConfig())
+    sim.run()
+    return np.array(sim.state.region(region).storage)
+
+
+ENGINES = ("sequential", "aggressive", "threads", "accelerator")
+
+
+@pytest.mark.parametrize("engine", ENGINES[1:])
+def test_bfs_levels_identical_across_engines(engine):
+    reference = _final_array("sequential", lambda: spec_bfs(GRAPH, 0),
+                             "level")
+    other = _final_array(engine, lambda: spec_bfs(GRAPH, 0), "level")
+    assert np.array_equal(reference, other)
+
+
+@pytest.mark.parametrize("engine", ENGINES[1:])
+def test_sssp_distances_identical_across_engines(engine):
+    reference = _final_array("sequential", lambda: spec_sssp(GRAPH, 0),
+                             "dist")
+    other = _final_array(engine, lambda: spec_sssp(GRAPH, 0), "dist")
+    assert np.array_equal(reference, other)
+
+
+def test_mst_weight_identical_across_engines():
+    from repro.apps.mst import spec_mst
+    from repro.substrates.graphs.algorithms import kruskal_mst
+
+    _, expected = kruskal_mst(GRAPH)
+
+    def weight_of(run):
+        return run.state.object("mst")["weight"]
+
+    seq = SequentialRuntime(spec_mst(GRAPH))
+    seq.run()
+    agg = AggressiveRuntime(spec_mst(GRAPH), workers=6)
+    agg.run()
+    sim = AcceleratorSim(spec_mst(GRAPH), config=SimConfig())
+    sim.run()
+    assert weight_of(seq) == expected
+    assert weight_of(agg) == expected
+    assert sim.state.object("mst")["weight"] == expected

@@ -1,0 +1,89 @@
+"""Tests for the host-side task injection (DMR/LU feed)."""
+
+import numpy as np
+import pytest
+
+from repro.core.eca import compile_rule
+from repro.core.kernel import Kernel, Store
+from repro.core.spec import ApplicationSpec, HostFeed, make_task_sets
+from repro.core.state import MemorySpace
+from repro.eval.platforms import HARP
+from repro.sim.accelerator import AcceleratorSim, SimConfig
+
+OK = compile_rule("rule ok():\n  otherwise return true")
+
+
+def _hosted_spec(n_tasks=12, batch=4, bytes_per_task=64, priority=False):
+    def make_state():
+        state = MemorySpace()
+        state.add_array("mem", np.zeros(64, dtype=np.int64))
+        return state
+
+    def batches(state):
+        for start in range(0, n_tasks, batch):
+            yield [
+                ("t", {"x": i, "seq": i})
+                for i in range(start, min(start + batch, n_tasks))
+            ]
+
+    return ApplicationSpec(
+        name="hosted",
+        mode="coordinative",
+        task_sets=make_task_sets([("t", "for-each", ("x", "seq"))]),
+        kernels={"t": Kernel("t", [
+            Store("mem", lambda env: env["x"], lambda env: 1),
+        ])},
+        rules={"ok": OK},
+        make_state=make_state,
+        initial_tasks=lambda state: [],
+        verify=lambda state: None,
+        host_feed=HostFeed(batches, bytes_per_task=bytes_per_task),
+        priority_fields={"t": "seq"} if priority else {},
+    )
+
+
+def _run(spec, platform=HARP):
+    sim = AcceleratorSim(spec, platform=platform, config=SimConfig())
+    result = sim.run()
+    return sim, result
+
+
+class TestHostFeed:
+    def test_all_tasks_injected(self):
+        sim, result = _run(_hosted_spec(n_tasks=12, batch=4))
+        assert result.stats.tasks_activated == 12
+        assert sim.host.batches_sent == 3
+        assert all(sim.state.load("mem", i) == 1 for i in range(12))
+
+    def test_feed_paced_by_bandwidth(self):
+        slow_spec = _hosted_spec(n_tasks=16, batch=2, bytes_per_task=4096)
+        fast_spec = _hosted_spec(n_tasks=16, batch=2, bytes_per_task=4096)
+        _, slow = _run(slow_spec, platform=HARP)
+        _, fast = _run(fast_spec, platform=HARP.scaled(8.0))
+        assert fast.cycles < slow.cycles
+
+    def test_host_exhausts(self):
+        sim, _ = _run(_hosted_spec(n_tasks=4, batch=4))
+        assert sim.host.exhausted
+        assert not sim.host.busy()
+
+    def test_priority_horizon_tracks_next_batch(self):
+        spec = _hosted_spec(n_tasks=8, batch=4, priority=True)
+        sim = AcceleratorSim(spec, platform=HARP, config=SimConfig())
+        sim.host.start()
+        # First batch pending: the horizon is the first un-injected task.
+        assert sim.tracker.horizon is not None
+        assert sim.tracker.horizon.positions == (0,)
+        # A fresh simulation runs to completion and clears the horizon.
+        sim2 = AcceleratorSim(_hosted_spec(n_tasks=8, batch=4,
+                                           priority=True),
+                              platform=HARP, config=SimConfig())
+        result = sim2.run()
+        assert sim2.tracker.horizon is None
+        assert result.stats.tasks_activated == 8
+
+    def test_counter_indexed_feed_has_no_horizon(self):
+        spec = _hosted_spec(n_tasks=8, batch=4, priority=False)
+        sim = AcceleratorSim(spec, platform=HARP, config=SimConfig())
+        sim.host.start()
+        assert sim.tracker.horizon is None

@@ -1,0 +1,91 @@
+"""Unit and property tests for the disjoint-set substrate."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.substrates.dsu import DisjointSet
+
+
+class TestBasics:
+    def test_initially_disjoint(self):
+        dsu = DisjointSet(5)
+        assert dsu.components == 5
+        assert not dsu.connected(0, 1)
+
+    def test_union_connects(self):
+        dsu = DisjointSet(4)
+        assert dsu.union(0, 1)
+        assert dsu.connected(0, 1)
+        assert dsu.components == 3
+
+    def test_union_idempotent(self):
+        dsu = DisjointSet(4)
+        dsu.union(0, 1)
+        assert not dsu.union(1, 0)
+        assert dsu.components == 3
+
+    def test_transitive_connectivity(self):
+        dsu = DisjointSet(5)
+        dsu.union(0, 1)
+        dsu.union(1, 2)
+        assert dsu.connected(0, 2)
+        assert not dsu.connected(0, 3)
+
+    def test_find_returns_consistent_root(self):
+        dsu = DisjointSet(6)
+        dsu.union(2, 3)
+        dsu.union(3, 4)
+        assert dsu.find(2) == dsu.find(4) == dsu.find(3)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            DisjointSet(-1)
+
+    def test_zero_size_allowed(self):
+        dsu = DisjointSet(0)
+        assert len(dsu) == 0
+        assert dsu.components == 0
+
+    def test_snapshot_reflects_components(self):
+        dsu = DisjointSet(4)
+        dsu.union(0, 1)
+        snap = dsu.snapshot()
+        assert snap[0] == snap[1]
+        assert snap[2] != snap[0]
+
+    def test_len(self):
+        assert len(DisjointSet(7)) == 7
+
+
+@given(st.lists(st.tuples(st.integers(0, 19), st.integers(0, 19)),
+                max_size=60))
+def test_components_equal_reference_partition(pairs):
+    """Union-find must agree with a naive partition refinement."""
+    dsu = DisjointSet(20)
+    groups = [{i} for i in range(20)]
+
+    def group_of(x):
+        for g in groups:
+            if x in g:
+                return g
+        raise AssertionError
+
+    for a, b in pairs:
+        dsu.union(a, b)
+        ga, gb = group_of(a), group_of(b)
+        if ga is not gb:
+            ga |= gb
+            groups.remove(gb)
+
+    assert dsu.components == len(groups)
+    for g in groups:
+        root_set = {dsu.find(x) for x in g}
+        assert len(root_set) == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 14), st.integers(0, 14)),
+                max_size=40))
+def test_union_count_matches_component_delta(pairs):
+    dsu = DisjointSet(15)
+    merges = sum(1 for a, b in pairs if dsu.union(a, b))
+    assert dsu.components == 15 - merges

@@ -1,0 +1,181 @@
+"""Tests for geometry predicates, triangulation, and refinement."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InputError
+from repro.substrates.mesh import (
+    Mesh,
+    bad_triangles,
+    cavity_of,
+    incircle,
+    orient2d,
+    random_points,
+    refine_mesh,
+    retriangulate_cavity,
+    triangle_min_angle,
+    triangulate,
+)
+from repro.substrates.mesh.geometry import circumcenter
+from repro.substrates.mesh.refinement import is_bad, make_refinement_instance
+
+
+class TestPredicates:
+    def test_orient_ccw_positive(self):
+        assert orient2d((0, 0), (1, 0), (0, 1)) > 0
+
+    def test_orient_cw_negative(self):
+        assert orient2d((0, 0), (0, 1), (1, 0)) < 0
+
+    def test_orient_collinear_zero(self):
+        assert orient2d((0, 0), (1, 1), (2, 2)) == 0
+
+    def test_incircle_inside_positive(self):
+        assert incircle((0, 0), (1, 0), (0, 1), (0.3, 0.3)) > 0
+
+    def test_incircle_outside_negative(self):
+        assert incircle((0, 0), (1, 0), (0, 1), (5, 5)) < 0
+
+    def test_circumcenter_equidistant(self):
+        a, b, c = (0, 0), (2, 0), (0, 2)
+        cx, cy = circumcenter(a, b, c)
+        ra = math.hypot(cx - a[0], cy - a[1])
+        rb = math.hypot(cx - b[0], cy - b[1])
+        rc = math.hypot(cx - c[0], cy - c[1])
+        assert ra == pytest.approx(rb) == pytest.approx(rc)
+
+    def test_circumcenter_degenerate_raises(self):
+        with pytest.raises(ValueError):
+            circumcenter((0, 0), (1, 1), (2, 2))
+
+    def test_equilateral_min_angle(self):
+        h = math.sqrt(3) / 2
+        angle = triangle_min_angle((0, 0), (1, 0), (0.5, h))
+        assert angle == pytest.approx(60.0, abs=1e-6)
+
+    def test_sliver_min_angle_small(self):
+        angle = triangle_min_angle((0, 0), (1, 0), (0.5, 0.01))
+        assert angle < 5.0
+
+    def test_degenerate_min_angle_zero(self):
+        assert triangle_min_angle((0, 0), (0, 0), (1, 1)) == 0.0
+
+
+@given(st.tuples(st.floats(-10, 10), st.floats(-10, 10)),
+       st.tuples(st.floats(-10, 10), st.floats(-10, 10)),
+       st.tuples(st.floats(-10, 10), st.floats(-10, 10)))
+def test_orient2d_antisymmetric(a, b, c):
+    assert orient2d(a, b, c) == pytest.approx(-orient2d(a, c, b), abs=1e-6)
+
+
+class TestTriangulation:
+    def test_three_points_one_triangle(self):
+        mesh = triangulate([(0, 0), (1, 0), (0.4, 1)])
+        assert len(mesh.triangles) == 1
+
+    def test_requires_three_points(self):
+        with pytest.raises(InputError):
+            triangulate([(0, 0), (1, 1)])
+
+    def test_random_cloud_is_delaunay(self):
+        mesh = triangulate(random_points(40, seed=1))
+        assert mesh.is_valid_triangulation()
+        assert mesh.is_delaunay()
+
+    def test_triangle_count_euler(self):
+        # For n points with h on the hull: triangles = 2n - h - 2.
+        mesh = triangulate(random_points(50, seed=3))
+        n_points = 50
+        # Count hull edges: edges with exactly one incident triangle.
+        hull_edges = sum(
+            1 for owners in mesh._edge_map.values() if len(owners) == 1
+        )
+        assert len(mesh.triangles) == 2 * n_points - hull_edges - 2
+
+    def test_neighbors_share_edges(self):
+        mesh = triangulate(random_points(30, seed=2))
+        some_tri = next(iter(mesh.triangles))
+        for neighbor in mesh.neighbors_of(some_tri):
+            shared = set(mesh.triangles[some_tri]) & set(
+                mesh.triangles[neighbor]
+            )
+            assert len(shared) == 2
+
+    def test_remove_triangle(self):
+        mesh = triangulate(random_points(10, seed=4))
+        tri = next(iter(mesh.triangles))
+        before = len(mesh.triangles)
+        mesh.remove_triangle(tri)
+        assert len(mesh.triangles) == before - 1
+        assert tri not in mesh
+
+    def test_degenerate_insert_rejected(self):
+        mesh = Mesh([(0, 0), (1, 1), (2, 2)])
+        with pytest.raises(InputError):
+            mesh.add_triangle(0, 1, 2)
+
+    def test_cw_triangle_normalized(self):
+        mesh = Mesh([(0, 0), (0, 1), (1, 0)])
+        tri = mesh.add_triangle(0, 1, 2)  # given CW
+        a, b, c = mesh.vertices_of(tri)
+        assert orient2d(a, b, c) > 0
+
+
+class TestRefinement:
+    def test_refinement_reduces_bad_triangles(self):
+        mesh, initial_bad = make_refinement_instance(60, seed=5)
+        before = len(initial_bad)
+        refine_mesh(mesh)
+        assert len(bad_triangles(mesh)) < before
+        assert mesh.is_valid_triangulation()
+
+    def test_cavity_contains_seed(self):
+        mesh, bad = make_refinement_instance(40, seed=6)
+        tri = bad[0]
+        _center, cavity = cavity_of(mesh, tri)
+        assert tri in cavity
+
+    def test_cavity_conflict_symmetry_smoke(self):
+        mesh, bad = make_refinement_instance(60, seed=7)
+        if len(bad) >= 2:
+            _c1, cav1 = cavity_of(mesh, bad[0])
+            _c2, cav2 = cavity_of(mesh, bad[1])
+            # Cavities are triangle-id sets; overlap is well-defined.
+            assert isinstance(set(cav1) & set(cav2), set)
+
+    def test_retriangulate_removes_cavity(self):
+        mesh, bad = make_refinement_instance(50, seed=8)
+        tri = bad[0]
+        center, cavity = cavity_of(mesh, tri)
+        created = retriangulate_cavity(mesh, center, cavity)
+        if created is not None:
+            for old in cavity:
+                assert old not in mesh
+            for new in created:
+                assert new in mesh
+            assert mesh.is_valid_triangulation()
+
+    def test_is_bad_threshold(self):
+        mesh = triangulate([(0, 0), (1, 0), (0.5, 0.02)])
+        tri = next(iter(mesh.triangles))
+        assert is_bad(mesh, tri, min_angle=25.0)
+        assert not is_bad(mesh, tri, min_angle=0.5)
+
+    def test_random_points_deterministic(self):
+        assert random_points(10, seed=1) == random_points(10, seed=1)
+
+    def test_refinement_inserts_points(self):
+        mesh, _ = make_refinement_instance(60, seed=9)
+        before = len(mesh.points)
+        inserted = refine_mesh(mesh)
+        assert len(mesh.points) == before + inserted
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(0, 100))
+def test_triangulation_always_valid(seed):
+    mesh = triangulate(random_points(25, seed=seed))
+    assert mesh.is_valid_triangulation()
+    assert mesh.is_delaunay(tolerance=1e-7)

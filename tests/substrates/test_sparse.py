@@ -1,0 +1,177 @@
+"""Tests for the block-sparse matrix substrate and BOTS LU kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import InputError
+from repro.substrates.sparse.block import (
+    BlockSparseMatrix,
+    LUTask,
+    apply_lu_task,
+    bdiv,
+    bmod,
+    fwd,
+    lu0,
+    lu_block_tasks,
+    lu_residual,
+    make_sparselu_instance,
+    sparse_lu_reference,
+)
+
+
+class TestBlockSparseMatrix:
+    def test_set_get(self):
+        matrix = BlockSparseMatrix(3, 2)
+        block = np.ones((2, 2))
+        matrix.set(0, 1, block)
+        assert (0, 1) in matrix
+        assert np.array_equal(matrix.get(0, 1), block)
+        assert matrix.get(2, 2) is None
+
+    def test_wrong_shape_rejected(self):
+        matrix = BlockSparseMatrix(2, 3)
+        with pytest.raises(InputError):
+            matrix.set(0, 0, np.ones((2, 2)))
+
+    def test_out_of_range_rejected(self):
+        matrix = BlockSparseMatrix(2, 2)
+        with pytest.raises(InputError):
+            matrix.set(5, 0, np.ones((2, 2)))
+
+    def test_ensure_allocates_fill(self):
+        matrix = BlockSparseMatrix(2, 2)
+        block = matrix.ensure(1, 1)
+        assert np.all(block == 0)
+        assert (1, 1) in matrix
+
+    def test_copy_is_deep(self):
+        matrix = BlockSparseMatrix(2, 2)
+        matrix.set(0, 0, np.eye(2))
+        clone = matrix.copy()
+        clone.get(0, 0)[0, 0] = 99
+        assert matrix.get(0, 0)[0, 0] == 1.0
+
+    def test_to_dense_layout(self):
+        matrix = BlockSparseMatrix(2, 2)
+        matrix.set(1, 0, np.full((2, 2), 3.0))
+        dense = matrix.to_dense()
+        assert dense.shape == (4, 4)
+        assert dense[2, 0] == 3.0
+        assert dense[0, 0] == 0.0
+
+    def test_total_bytes(self):
+        matrix = BlockSparseMatrix(2, 4)
+        matrix.set(0, 0, np.zeros((4, 4)))
+        assert matrix.total_bytes() == 4 * 4 * 8
+
+    def test_invalid_geometry(self):
+        with pytest.raises(InputError):
+            BlockSparseMatrix(0, 4)
+
+
+class TestBlockKernels:
+    def test_lu0_matches_numpy(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((5, 5)) + 10 * np.eye(5)
+        packed = a.copy()
+        lu0(packed)
+        lower = np.tril(packed, -1) + np.eye(5)
+        upper = np.triu(packed)
+        assert np.allclose(lower @ upper, a)
+
+    def test_lu0_zero_pivot_rejected(self):
+        with pytest.raises(InputError):
+            lu0(np.zeros((3, 3)))
+
+    def test_fwd_solves_lower_system(self):
+        rng = np.random.default_rng(4)
+        diag = rng.standard_normal((4, 4)) + 8 * np.eye(4)
+        lu0(diag)
+        lower = np.tril(diag, -1) + np.eye(4)
+        rhs = rng.standard_normal((4, 4))
+        solved = rhs.copy()
+        fwd(diag, solved)
+        assert np.allclose(lower @ solved, rhs)
+
+    def test_bdiv_solves_upper_system(self):
+        rng = np.random.default_rng(5)
+        diag = rng.standard_normal((4, 4)) + 8 * np.eye(4)
+        lu0(diag)
+        upper = np.triu(diag)
+        rhs = rng.standard_normal((4, 4))
+        solved = rhs.copy()
+        bdiv(diag, solved)
+        assert np.allclose(solved @ upper, rhs)
+
+    def test_bmod_is_gemm_update(self):
+        rng = np.random.default_rng(6)
+        row = rng.standard_normal((3, 3))
+        col = rng.standard_normal((3, 3))
+        inner = rng.standard_normal((3, 3))
+        expected = inner - col @ row
+        bmod(row, col, inner)
+        assert np.allclose(inner, expected)
+
+
+class TestTaskList:
+    def test_reads_and_writes(self):
+        assert LUTask("lu0", 1, 1, 1).writes() == (1, 1)
+        assert LUTask("fwd", 0, 0, 2).writes() == (0, 2)
+        assert LUTask("bdiv", 0, 2, 0).writes() == (2, 0)
+        assert LUTask("bmod", 0, 1, 2).writes() == (1, 2)
+        assert (0, 2) in LUTask("bmod", 0, 1, 2).reads()
+        assert (1, 0) in LUTask("bmod", 0, 1, 2).reads()
+
+    def test_program_order_dependences(self):
+        """Every task's reads are written by an earlier task (or input)."""
+        matrix = make_sparselu_instance(5, 3, 0.5, seed=9)
+        tasks = lu_block_tasks(matrix)
+        inputs = set(matrix.nonzero_blocks)
+        written = set()
+        for task in tasks:
+            for read in task.reads():
+                assert read in inputs or read in written, task
+            written.add(task.writes())
+            inputs.add(task.writes())
+
+    def test_lu0_per_diagonal(self):
+        matrix = make_sparselu_instance(6, 2, 0.3, seed=1)
+        tasks = lu_block_tasks(matrix)
+        lu0s = [t for t in tasks if t.kind == "lu0"]
+        assert len(lu0s) == 6
+        assert [t.k for t in lu0s] == list(range(6))
+
+    def test_unknown_kind_rejected(self):
+        matrix = make_sparselu_instance(3, 2, 0.5, seed=0)
+        with pytest.raises(InputError):
+            apply_lu_task(matrix, LUTask("ginv", 0, 0, 0))
+
+
+class TestFactorization:
+    def test_reference_residual_small(self):
+        matrix = make_sparselu_instance(6, 5, 0.4, seed=2)
+        factored = sparse_lu_reference(matrix)
+        assert lu_residual(matrix, factored) < 1e-10
+
+    def test_residual_of_unfactored_is_large(self):
+        matrix = make_sparselu_instance(5, 4, 0.4, seed=3)
+        assert lu_residual(matrix, matrix) > 1e-3
+
+    def test_density_bounds(self):
+        with pytest.raises(InputError):
+            make_sparselu_instance(4, 4, density=1.5)
+
+    def test_instance_deterministic(self):
+        a = make_sparselu_instance(4, 3, 0.5, seed=7)
+        b = make_sparselu_instance(4, 3, 0.5, seed=7)
+        assert np.array_equal(a.to_dense(), b.to_dense())
+
+
+@settings(deadline=None, max_examples=10)
+@given(st.integers(2, 6), st.integers(2, 6), st.integers(0, 500),
+       st.floats(0.1, 0.9))
+def test_property_factorization_always_converges(grid, block, seed, density):
+    matrix = make_sparselu_instance(grid, block, density, seed=seed)
+    factored = sparse_lu_reference(matrix)
+    assert lu_residual(matrix, factored) < 1e-8

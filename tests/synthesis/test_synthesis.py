@@ -1,0 +1,171 @@
+"""Tests for templates, datapath construction, resources and tuning."""
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.errors import SynthesisError
+from repro.eval.platforms import STRATIX_V
+from repro.ir.bdfg import ActorKind
+from repro.substrates.graphs import random_graph
+from repro.synthesis.datapath import build_datapath, linearize
+from repro.synthesis.resources import (
+    estimate_datapath,
+    require_fit,
+)
+from repro.synthesis.templates import (
+    Footprint,
+    MemorySubsystemTemplate,
+    RuleEngineTemplate,
+    StageTemplate,
+    TaskQueueTemplate,
+)
+from repro.synthesis.tuning import build_tuned_datapath, tune_parameters
+
+GRAPH = random_graph(40, 100, seed=3)
+
+
+def _bfs_spec():
+    return build_app("SPEC-BFS", GRAPH, 0)
+
+
+class TestFootprint:
+    def test_addition(self):
+        total = Footprint(1, 2, 3, 4) + Footprint(10, 20, 30, 40)
+        assert total == Footprint(11, 22, 33, 44)
+
+    def test_scaling(self):
+        assert Footprint(1, 2, 3, 4).scaled(3) == Footprint(3, 6, 9, 12)
+
+
+class TestTemplates:
+    def test_out_of_order_stage_costs_more(self):
+        in_order = StageTemplate(ActorKind.ALU)
+        ooo = StageTemplate(ActorKind.LOAD, station_depth=8)
+        assert ooo.footprint().registers > in_order.footprint().registers
+
+    def test_station_depth_scales_ooo_cost(self):
+        shallow = StageTemplate(ActorKind.LOAD, station_depth=4)
+        deep = StageTemplate(ActorKind.LOAD, station_depth=32)
+        assert deep.footprint().registers > shallow.footprint().registers
+
+    def test_call_profiles_ordered(self):
+        light = StageTemplate(ActorKind.CALL, call_profile="light")
+        geo = StageTemplate(ActorKind.CALL, call_profile="geometry")
+        macc = StageTemplate(ActorKind.CALL, call_profile="macc")
+        assert light.footprint().alms < geo.footprint().alms \
+            < macc.footprint().alms
+        assert macc.footprint().dsps > 0
+
+    def test_queue_bram_scales_with_depth(self):
+        small = TaskQueueTemplate(depth_per_bank=128)
+        big = TaskQueueTemplate(depth_per_bank=4096)
+        assert big.footprint().m20k > small.footprint().m20k
+
+    def test_queue_capacity(self):
+        queue = TaskQueueTemplate(banks=4, depth_per_bank=256)
+        assert queue.capacity == 1024
+
+    def test_rule_engine_cost_scales_with_lanes(self):
+        few = RuleEngineTemplate(lanes=8)
+        many = RuleEngineTemplate(lanes=64)
+        assert many.footprint().registers > few.footprint().registers
+
+    def test_rule_engine_subscriptions_cost(self):
+        one = RuleEngineTemplate(lanes=16, subscriptions=1)
+        four = RuleEngineTemplate(lanes=16, subscriptions=4)
+        assert four.footprint().registers > one.footprint().registers
+
+    def test_memory_subsystem_bram(self):
+        assert MemorySubsystemTemplate().footprint().m20k >= 25
+
+
+class TestDatapath:
+    def test_programs_per_task_set(self):
+        datapath = build_datapath(_bfs_spec())
+        assert set(datapath.programs) == {"visit", "update"}
+
+    def test_replicas_default_one(self):
+        datapath = build_datapath(_bfs_spec())
+        assert datapath.replicas == {"visit": 1, "update": 1}
+
+    def test_replicas_respected(self):
+        datapath = build_datapath(_bfs_spec(),
+                                  replicas={"visit": 2, "update": 3})
+        assert datapath.total_pipelines == 5
+
+    def test_unknown_replica_rejected(self):
+        with pytest.raises(SynthesisError):
+            build_datapath(_bfs_spec(), replicas={"nope": 1})
+
+    def test_linearize_excludes_source_and_sink(self):
+        datapath = build_datapath(_bfs_spec())
+        for program in datapath.programs.values():
+            kinds = [s.kind for s in program.stages]
+            assert ActorKind.SOURCE not in kinds
+            assert ActorKind.SINK not in kinds
+
+    def test_epilogue_attached_to_steering_stage(self):
+        spec = build_app("SPEC-MST", GRAPH)
+        datapath = build_datapath(spec)
+        program = datapath.programs["mstedge"]
+        rendezvous = [
+            s for s in program.stages if s.kind is ActorKind.RENDEZVOUS
+        ]
+        assert rendezvous and rendezvous[0].epilogue  # retry enqueue
+
+    def test_queue_entry_bits_include_index_tag(self):
+        datapath = build_datapath(_bfs_spec())
+        decl_bits = _bfs_spec().task_sets["visit"].entry_bits
+        assert datapath.queues["visit"].entry_bits == decl_bits + 32
+
+    def test_rule_engines_present(self):
+        datapath = build_datapath(_bfs_spec())
+        assert "update_conflict" in datapath.rule_engines
+
+
+class TestResources:
+    def test_estimate_breakdown_positive(self):
+        estimate = estimate_datapath(build_datapath(_bfs_spec()))
+        assert estimate.pipelines.registers > 0
+        assert estimate.queues.m20k > 0
+        assert estimate.rule_engines.registers > 0
+        assert estimate.memory.registers > 0
+
+    def test_more_replicas_more_area(self):
+        one = estimate_datapath(build_datapath(_bfs_spec()))
+        four = estimate_datapath(
+            build_datapath(_bfs_spec(), replicas={"visit": 4, "update": 4})
+        )
+        assert four.pipelines.registers > one.pipelines.registers
+
+    def test_require_fit_passes_small_design(self):
+        require_fit(build_datapath(_bfs_spec()))
+
+    def test_utilization_fractions(self):
+        estimate = estimate_datapath(build_datapath(_bfs_spec()))
+        for value in estimate.utilization(STRATIX_V).values():
+            assert 0.0 <= value < 1.0
+
+
+class TestTuning:
+    def test_tuner_grows_design(self):
+        params = tune_parameters(_bfs_spec())
+        assert params.total_pipelines > 2
+
+    def test_tuned_design_fits(self):
+        datapath = build_tuned_datapath(_bfs_spec())
+        require_fit(datapath)
+
+    def test_tuned_design_near_target(self):
+        datapath = build_tuned_datapath(_bfs_spec())
+        usage = estimate_datapath(datapath).utilization(STRATIX_V)
+        assert max(usage.values()) <= 0.8 + 1e-9
+
+    def test_rule_engine_share_reasonable(self):
+        estimate = estimate_datapath(build_tuned_datapath(_bfs_spec()))
+        assert 0.02 <= estimate.rule_engine_register_share <= 0.15
+
+    def test_lane_count_divided_among_engines(self):
+        lu = build_app("COOR-LU", grid=4, block_size=4)
+        params = tune_parameters(lu)
+        assert params.rule_lanes >= 8

@@ -1,0 +1,49 @@
+"""The example scripts must run end-to-end (they are executable docs)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py")
+    assert "verified" in out
+    assert "pipeline utilization" in out
+
+
+def test_schedule_comparison():
+    out = _run("schedule_comparison.py")
+    assert "barrier" in out
+    assert "dataflow" in out
+    assert "cycles" in out
+
+
+def test_custom_app():
+    out = _run("custom_app.py")
+    assert "verified" in out
+    assert "CUSTOM-CC" in out
+
+
+def test_bandwidth_exploration():
+    out = _run("bandwidth_exploration.py", "COOR-LU", "0.4")
+    assert "sweeping QPI bandwidth" in out
+    assert "bandwidth-bound" in out
+
+
+@pytest.mark.slow
+def test_design_space_exploration():
+    out = _run("design_space_exploration.py", "SPEC-CC", timeout=480)
+    assert "Pareto" in out
