@@ -9,8 +9,12 @@ Commands
 ``simulate APP``cycle-level accelerator simulation, optional schedule trace
 ``experiment``  regenerate table1 / figure9 / figure10 / resources
 ``dse APP``     design-space exploration (Pareto frontier)
+``fault-campaign``  seeded fault injection with checkpoint/rollback recovery
 
-All commands verify functional results where applicable.
+``simulate`` accepts ``--inject SEED`` (seeded fault plan),
+``--check-invariants`` (runtime sanitizer) and ``--resilient``
+(checkpoint/rollback recovery).  All commands verify functional results
+where applicable.
 """
 
 from __future__ import annotations
@@ -83,16 +87,65 @@ def cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_fault_plan(spec, config: SimConfig, seed: int,
+                      horizon: int, intensity: float):
+    from repro.sim.faults import FaultPlan
+
+    return FaultPlan.generate(
+        seed,
+        horizon=horizon,
+        engines=tuple(spec.rules),
+        task_sets=tuple(spec.task_sets),
+        banks=config.queue_banks,
+        rule_lanes=config.rule_lanes,
+        intensity=intensity,
+    )
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.sim.accelerator import run_resilient
+    from repro.sim.invariants import DEFAULT_CHECK_INTERVAL
+
     spec = _default_spec(args.app)
     tracer = ScheduleTracer(max_cycles=args.trace_cycles) if args.trace \
         else None
     platform = EVAL_HARP.scaled(args.bandwidth)
-    sim = AcceleratorSim(
-        spec, platform=platform, config=SimConfig(prefetch=args.prefetch),
-        tracer=tracer,
+    config = SimConfig(prefetch=args.prefetch)
+    check_interval = (
+        args.check_interval
+        if args.check_interval is not None
+        else (DEFAULT_CHECK_INTERVAL if args.check_invariants else None)
     )
-    result = sim.run()
+
+    faults = None
+    if args.inject is not None:
+        # Size the fault windows from a fault-free baseline run so that
+        # every event lands inside the perturbed execution.
+        baseline = AcceleratorSim(
+            spec, platform=platform, config=config
+        ).run(verify=False)
+        faults = _build_fault_plan(
+            spec, config, args.inject, baseline.cycles, args.intensity,
+        )
+
+    if args.resilient:
+        res = run_resilient(
+            spec, platform=platform, config=config,
+            faults=faults,
+            check_interval=check_interval
+            if check_interval is not None else DEFAULT_CHECK_INTERVAL,
+        )
+        result = res.result
+        print(f"{spec.name}: recovered={res.recovered} "
+              f"attempts={res.attempts} rollbacks={res.rollbacks} "
+              f"degradations={res.degradations} "
+              f"faults={result.stats.faults_injected}")
+    else:
+        sim = AcceleratorSim(
+            spec, platform=platform, config=config,
+            tracer=tracer, faults=faults, check_interval=check_interval,
+        )
+        result = sim.run()
     print(f"{spec.name}: {result.cycles} cycles "
           f"({result.seconds * 1e6:.1f} us at 200 MHz), "
           f"utilization {result.utilization * 100:.1f}%, "
@@ -111,6 +164,57 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             active = result.stats.per_stage_active.get(name, 0)
             print(f"  {name:40s} stall={count:7d} active={active:7d}")
     return 0
+
+
+def cmd_fault_campaign(args: argparse.Namespace) -> int:
+    """Seeded fault-injection campaign over a set of benchmarks.
+
+    For each app: run a fault-free baseline to size the fault windows,
+    generate a deterministic fault plan from the seed, then run under
+    checkpoint/rollback recovery.  The summary is byte-identical across
+    repeated invocations with the same seed.
+    """
+    from repro.errors import RecoveryExhaustedError
+    from repro.sim.accelerator import run_resilient
+
+    config = SimConfig()
+    all_ok = True
+    print(f"fault campaign: seed={args.seed} trials={args.trials} "
+          f"intensity={args.intensity}")
+    for app in args.apps:
+        spec = _default_spec(app)
+        baseline = AcceleratorSim(spec, config=config).run(verify=False)
+        for trial in range(args.trials):
+            faults = _build_fault_plan(
+                spec, config, args.seed + trial,
+                baseline.cycles, args.intensity,
+            )
+            try:
+                res = run_resilient(
+                    spec, config=config, faults=faults,
+                    check_interval=args.check_interval,
+                    checkpoint_interval=args.checkpoint_interval,
+                )
+            except RecoveryExhaustedError as exc:
+                all_ok = False
+                print(f"  {app:10s} trial={trial} — FAILED: {exc}")
+                continue
+            stats = res.result.stats
+            print(f"  {app:10s} trial={trial} "
+                  f"injected={stats.faults_injected} "
+                  f"dropped={stats.events_dropped} "
+                  f"duplicated={stats.events_duplicated} "
+                  f"rollbacks={res.rollbacks} "
+                  f"degradations={res.degradations} "
+                  f"attempts={res.attempts} "
+                  f"cycles={res.result.cycles} "
+                  f"(baseline {baseline.cycles}) — VERIFIED")
+            for failure in res.failures:
+                print(f"    recovered@{failure.cycle}: "
+                      f"{type(failure.error).__name__}: {failure.error}")
+    print("campaign: " + ("all runs VERIFIED" if all_ok
+                          else "some runs FAILED"))
+    return 0 if all_ok else 1
 
 
 def cmd_experiment(args: argparse.Namespace) -> int:
@@ -206,7 +310,31 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--trace-width", type=int, default=72)
     simulate.add_argument("--profile", action="store_true",
                           help="print the most-stalled stages")
+    simulate.add_argument("--inject", type=int, metavar="SEED",
+                          help="inject a seeded fault plan")
+    simulate.add_argument("--intensity", type=float, default=1.0,
+                          help="fault plan intensity multiplier")
+    simulate.add_argument("--check-invariants", action="store_true",
+                          help="run the invariant sanitizer periodically")
+    simulate.add_argument("--check-interval", type=int, default=None,
+                          help="cycles between sanitizer passes")
+    simulate.add_argument("--resilient", action="store_true",
+                          help="run under checkpoint/rollback recovery")
     simulate.set_defaults(handler=cmd_simulate)
+
+    campaign = sub.add_parser(
+        "fault-campaign",
+        help="seeded fault injection with checkpoint/rollback recovery",
+    )
+    campaign.add_argument("--seed", type=int, default=7)
+    campaign.add_argument("--apps", nargs="+",
+                          default=["SPEC-BFS", "SPEC-SSSP"])
+    campaign.add_argument("--trials", type=int, default=1,
+                          help="fault plans per app (seed, seed+1, ...)")
+    campaign.add_argument("--intensity", type=float, default=1.0)
+    campaign.add_argument("--check-interval", type=int, default=2048)
+    campaign.add_argument("--checkpoint-interval", type=int, default=5000)
+    campaign.set_defaults(handler=cmd_fault_campaign)
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table/figure")

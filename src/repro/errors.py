@@ -57,6 +57,41 @@ class DeadlockError(SimulationError):
         super().__init__(message)
 
 
+class InvariantViolation(SimulationError):
+    """A runtime invariant check (sanitizer) failed.
+
+    Raised by the invariant checker long before the deadlock window would
+    fire, with the cycle, the violated invariant, and the component.
+    """
+
+    def __init__(
+        self, cycle: int, invariant: str, component: str, detail: str = ""
+    ) -> None:
+        self.cycle = cycle
+        self.invariant = invariant
+        self.component = component
+        self.detail = detail
+        message = (
+            f"invariant {invariant!r} violated at cycle {cycle} "
+            f"in {component}"
+        )
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+
+
+class RecoveryExhaustedError(SimulationError):
+    """Checkpoint/rollback recovery ran out of retry attempts."""
+
+    def __init__(self, attempts: int, failures: list[str]) -> None:
+        self.attempts = attempts
+        self.failures = failures
+        summary = "; ".join(failures[-3:]) if failures else "no failures"
+        super().__init__(
+            f"recovery exhausted after {attempts} attempts ({summary})"
+        )
+
+
 class SchedulingError(ReproError):
     """The software runtime scheduler violated an ordering invariant."""
 

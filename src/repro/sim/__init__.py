@@ -9,6 +9,26 @@ parameterizable bandwidth.  The simulation is *functional*: it computes the
 application's real answer, which is verified against the sequential oracle.
 """
 
-from repro.sim.accelerator import AcceleratorSim, SimResult, simulate_app
+from repro.sim.accelerator import (
+    AcceleratorSim,
+    ResilientResult,
+    SimResult,
+    run_resilient,
+    simulate_app,
+)
+from repro.sim.checkpoint import CheckpointManager
+from repro.sim.faults import FaultEvent, FaultKind, FaultPlan
+from repro.sim.invariants import InvariantChecker
 
-__all__ = ["AcceleratorSim", "SimResult", "simulate_app"]
+__all__ = [
+    "AcceleratorSim",
+    "CheckpointManager",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "InvariantChecker",
+    "ResilientResult",
+    "SimResult",
+    "run_resilient",
+    "simulate_app",
+]

@@ -9,15 +9,23 @@ utilization, squash rates and memory statistics.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.core.events import Event, EventKind
 from repro.core.indexing import TaskIndex
 from repro.core.spec import ApplicationSpec
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import (
+    DeadlockError,
+    RecoveryExhaustedError,
+    ReproError,
+    SimulationError,
+    SpecificationError,
+)
 from repro.eval.platforms import HARP, HarpPlatform
+from repro.sim.faults import FaultPlan
 from repro.sim.host import HostAdapter
+from repro.sim.invariants import DEFAULT_CHECK_INTERVAL, InvariantChecker
 from repro.sim.live import LiveIndexTracker
 from repro.sim.memory import MemorySystem
 from repro.sim.pipeline import PipelineInstance
@@ -47,6 +55,19 @@ class SimConfig:
     max_cycles: int = 30_000_000
     deadlock_window: int = 200_000
 
+    def __post_init__(self) -> None:
+        for name in (
+            "station_depth", "fifo_depth", "queue_banks",
+            "queue_depth_per_bank", "rule_lanes",
+            "minimum_broadcast_interval", "max_cycles", "deadlock_window",
+        ):
+            value = getattr(self, name)
+            if not isinstance(value, int) or value <= 0:
+                raise SpecificationError(
+                    f"SimConfig.{name} must be a positive integer, "
+                    f"got {value!r}"
+                )
+
 
 @dataclass
 class SimResult:
@@ -75,18 +96,30 @@ class AcceleratorSim:
         config: SimConfig = SimConfig(),
         replicas: dict[str, int] | None = None,
         tracer=None,
+        faults: FaultPlan | None = None,
+        check_interval: int | None = None,
     ) -> None:
         self.spec = spec
         self.platform = platform
         self.config = config
         self.tracer = tracer
+        self.faults = faults
         self.cycle = 0
         self.stats = SimStats()
         self.state = spec.make_state()
         self.minter = spec.make_loop_nest()
         self.tracker = LiveIndexTracker()
-        self.memory = MemorySystem(platform, prefetch=config.prefetch)
+        self.memory = MemorySystem(platform, prefetch=config.prefetch,
+                                   faults=faults)
         self.active_stages_this_cycle = 0
+        # Robustness machinery: an invariant sanitizer (None = disabled)
+        # and a checkpoint manager attached by run_resilient.
+        self.checker = (
+            InvariantChecker(self, interval=check_interval)
+            if check_interval is not None else None
+        )
+        self.checkpoints = None
+        self._started = False
 
         if datapath is None:
             datapath = build_datapath(
@@ -104,6 +137,7 @@ class AcceleratorSim:
                 pop_policy=(
                     "priority" if name in spec.priority_fields else "fifo"
                 ),
+                faults=faults,
             )
             for name in spec.task_sets
         }
@@ -116,7 +150,8 @@ class AcceleratorSim:
             if spec.ordered_admission else None
         )
         self.engines: dict[str, RuleEngineSim] = {
-            name: RuleEngineSim(name, rule_type, config.rule_lanes)
+            name: RuleEngineSim(name, rule_type, config.rule_lanes,
+                                faults=faults)
             for name, rule_type in spec.rules.items()
         }
         self.pipelines: list[PipelineInstance] = []
@@ -193,6 +228,12 @@ class AcceleratorSim:
 
     def step(self) -> None:
         """Advance one cycle."""
+        if self.faults is not None:
+            self.faults.advance(self.cycle)
+        if self.checkpoints is not None:
+            self.checkpoints.maybe_capture()
+        if self.checker is not None:
+            self.checker.maybe_check()
         self.active_stages_this_cycle = 0
         self._deliver_events()
         self.host.tick()
@@ -218,7 +259,9 @@ class AcceleratorSim:
 
     def run(self, verify: bool = True) -> SimResult:
         """Clock the accelerator until all work drains; verify the answer."""
-        self.host.start()
+        if not self._started:
+            self.host.start()
+            self._started = True
         while self._work_remaining():
             self.step()
             if self.cycle >= self.config.max_cycles:
@@ -240,6 +283,16 @@ class AcceleratorSim:
                     stage.active_cycles
                 self.stats.per_stage_stalls[stage.name] = \
                     stage.stall_cycles
+        if self.checker is not None:
+            self.checker.check(at_drain=True)
+        if self.faults is not None:
+            self.stats.faults_injected = self.faults.fired_count
+            self.stats.events_dropped = sum(
+                e.stats.events_dropped for e in self.engines.values()
+            )
+            self.stats.events_duplicated = sum(
+                e.stats.events_duplicated for e in self.engines.values()
+            )
         if verify:
             self.spec.verify(self.state)
         mem = self.memory.stats
@@ -270,3 +323,117 @@ def simulate_app(
         spec, platform=platform, config=config, replicas=replicas
     )
     return sim.run(verify=verify)
+
+
+# -- checkpoint/rollback recovery ------------------------------------------
+
+
+@dataclass
+class FailureRecord:
+    """One failure the resilient driver recovered from."""
+
+    cycle: int
+    attempt: int
+    error: str
+
+
+@dataclass
+class ResilientResult:
+    """Outcome of a :func:`run_resilient` execution."""
+
+    result: SimResult
+    attempts: int
+    rollbacks: int
+    degradations: int
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    @property
+    def recovered(self) -> int:
+        return len(self.failures)
+
+
+def _degrade(sim: AcceleratorSim, level: int) -> None:
+    """Graceful degradation after repeated failures at the same point:
+    halve the channel bandwidth and shrink every rule engine's lanes."""
+    for _ in range(level):
+        channel = sim.memory.channel
+        channel.bytes_per_cycle = max(1.0, channel.bytes_per_cycle / 2)
+        for engine in sim.engines.values():
+            engine.max_lanes = max(1, engine.max_lanes // 2)
+
+
+def run_resilient(
+    spec: ApplicationSpec,
+    platform: HarpPlatform = HARP,
+    config: SimConfig = SimConfig(),
+    *,
+    replicas: dict[str, int] | None = None,
+    faults: FaultPlan | None = None,
+    check_interval: int | None = DEFAULT_CHECK_INTERVAL,
+    checkpoint_interval: int = 20_000,
+    max_attempts: int = 8,
+    degrade: bool = True,
+    verify: bool = True,
+) -> ResilientResult:
+    """Run under checkpoint/rollback recovery.
+
+    The simulator takes a snapshot every ``checkpoint_interval`` cycles
+    and runs the invariant sanitizer every ``check_interval`` cycles.  On
+    any failure — an invariant trip, a deadlock, a simulation error, or a
+    failed functional verification — the driver rolls back to the last
+    good checkpoint, disarms the transient faults that already fired, and
+    retries.  When a retry fails at the same point again it backs off:
+    the newest checkpoint is discarded (falling back toward the initial
+    snapshot) and, with ``degrade``, the accelerator re-runs in a
+    degraded mode (half bandwidth, half rule lanes per level).
+    """
+    from repro.sim.checkpoint import CheckpointManager
+
+    sim = AcceleratorSim(
+        spec, platform=platform, config=config, replicas=replicas,
+        faults=faults, check_interval=check_interval,
+    )
+    manager = CheckpointManager(sim, interval=checkpoint_interval)
+    sim.checkpoints = manager
+    failures: list[FailureRecord] = []
+    degradations = 0
+    last_failure_cycle: int | None = None
+    for attempt in range(1, max_attempts + 1):
+        try:
+            result = sim.run(verify=verify)
+        except (ReproError, AssertionError) as exc:
+            failure = FailureRecord(
+                cycle=sim.cycle, attempt=attempt,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            failures.append(failure)
+            if attempt == max_attempts:
+                raise RecoveryExhaustedError(
+                    attempt, [f.error for f in failures]
+                ) from exc
+            if faults is not None:
+                faults.disarm_fired()
+            repeated = (
+                last_failure_cycle is not None
+                and failure.cycle <= last_failure_cycle
+            )
+            last_failure_cycle = failure.cycle
+            sim = manager.rollback(drop_latest=repeated)
+            if degrade and repeated:
+                degradations += 1
+            # Degradation mutates component state the checkpoint predates,
+            # so the accumulated level is re-applied after every rollback.
+            _degrade(sim, degradations)
+            continue
+        result.stats.rollbacks = manager.rollbacks
+        result.stats.checkpoints_taken = manager.captures
+        if faults is not None:
+            result.stats.faults_injected = faults.fired_count
+        return ResilientResult(
+            result=result,
+            attempts=attempt,
+            rollbacks=manager.rollbacks,
+            degradations=degradations,
+            failures=failures,
+        )
+    raise RecoveryExhaustedError(max_attempts, [f.error for f in failures])

@@ -1,0 +1,143 @@
+"""Checkpoint and rollback recovery for the accelerator simulator.
+
+A checkpoint is a deep clone of the whole simulation context taken at a
+cycle boundary — functional memory state, queues, rule-engine lanes,
+in-flight tokens, the event heap, the cache and channel model — with the
+immutable build artifacts (spec, datapath, platform, config, kernel ops)
+shared by reference.  Restoring produces a *fresh runnable simulator*
+rolled back to the checkpoint cycle, while the checkpoint itself stays
+pristine so the same snapshot can absorb repeated rollbacks.
+
+Two object-graph subtleties make this more than ``copy.deepcopy(sim)``:
+
+* Rule engines key their lane tables by ``id(instance)``; a deep copy
+  re-identifies every instance, so the tables are re-keyed after copying.
+* A host feed is a live generator (not copyable).  The host adapter logs
+  every batch it pulls, and a restored run first *replays* the logged
+  batches past its cursor before touching the shared generator — see
+  :meth:`repro.sim.host.HostAdapter.enable_replay`.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+
+def _shared_roots(sim) -> list:
+    """Objects shared (not copied) between a simulator and its clones.
+
+    These are either immutable build artifacts, diagnostics that should
+    keep observing the live run, or objects that cannot be deep-copied
+    (the host-feed generator).
+    """
+    shared = [sim.spec, sim.platform, sim.config, sim.datapath]
+    for extra in (sim.tracer, sim.faults, sim.checker, sim.checkpoints):
+        if extra is not None:
+            shared.append(extra)
+    host = sim.host
+    if host._batches is not None:
+        shared.append(host._batches)
+    if host._batch_log is not None:
+        shared.append(host._batch_log)
+    for pipeline in sim.pipelines:
+        for stage in pipeline.stages:
+            if stage.op is not None:
+                shared.append(stage.op)
+    for engine in sim.engines.values():
+        shared.append(engine.rule_type)
+    return shared
+
+
+def _identity_memo(shared: list) -> dict:
+    return {id(obj): obj for obj in shared}
+
+
+def snapshot(sim):
+    """A frozen deep clone of ``sim`` (not runnable until revived)."""
+    return copy.deepcopy(sim, _identity_memo(_shared_roots(sim)))
+
+
+def revive(clone):
+    """A fresh runnable simulator restored from a checkpoint clone."""
+    sim = copy.deepcopy(clone, _identity_memo(_shared_roots(clone)))
+    for engine in sim.engines.values():
+        # Lane tables are keyed by instance identity, which the copy
+        # changed; tokens reference the copied instances, so re-key.
+        engine.lanes = {
+            id(lane.instance): lane for lane in engine.lanes.values()
+        }
+    if sim.checker is not None:
+        # The checker is shared by the memo and still bound to the old
+        # context; give the revived simulator its own.
+        from repro.sim.invariants import InvariantChecker
+
+        sim.checker = InvariantChecker(sim, interval=sim.checker.interval)
+    return sim
+
+
+@dataclass
+class Checkpoint:
+    """One snapshot: the capture cycle plus the frozen clone."""
+
+    cycle: int
+    clone: object = field(repr=False)
+
+
+class CheckpointManager:
+    """Periodic snapshots plus the rollback policy.
+
+    Keeps at most ``keep`` checkpoints: always the earliest (cycle of the
+    first capture, effectively the initial state) plus the most recent
+    ones, so repeated failures can fall back progressively further and
+    ultimately rerun from the start.
+    """
+
+    def __init__(self, sim, interval: int = 20_000, keep: int = 4) -> None:
+        if interval < 1:
+            interval = 1
+        self.sim = sim
+        self.interval = interval
+        self.keep = max(2, keep)
+        self.checkpoints: list[Checkpoint] = []
+        self.captures = 0
+        self.rollbacks = 0
+        self._next_capture = 0
+        sim.host.enable_replay()
+
+    # -- capture --------------------------------------------------------------
+
+    def maybe_capture(self) -> None:
+        if self.sim.cycle >= self._next_capture:
+            self.capture()
+
+    def capture(self) -> Checkpoint:
+        checkpoint = Checkpoint(self.sim.cycle, snapshot(self.sim))
+        self.checkpoints.append(checkpoint)
+        if len(self.checkpoints) > self.keep:
+            # Retain the earliest capture as the rollback of last resort.
+            del self.checkpoints[1]
+        self.captures += 1
+        self._next_capture = self.sim.cycle + self.interval
+        return checkpoint
+
+    # -- rollback -------------------------------------------------------------
+
+    def rollback(self, drop_latest: bool = False):
+        """Restore the most recent checkpoint (or, with ``drop_latest``,
+        discard it first and fall back to the one before)."""
+        if not self.checkpoints:
+            raise RuntimeError("no checkpoint to roll back to")
+        if drop_latest and len(self.checkpoints) > 1:
+            self.checkpoints.pop()
+        checkpoint = self.checkpoints[-1]
+        sim = revive(checkpoint.clone)
+        sim.checkpoints = self
+        self.sim = sim
+        self.rollbacks += 1
+        self._next_capture = checkpoint.cycle + self.interval
+        if sim.faults is not None:
+            # Force the plan's cached view to recompute at the rolled-back
+            # cycle (the clock just moved backwards).
+            sim.faults.advance(max(0, checkpoint.cycle))
+        return sim

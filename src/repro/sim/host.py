@@ -27,8 +27,36 @@ class HostAdapter:
         self._transfer_req: int | None = None
         self._exhausted = spec.host_feed is None
         self.batches_sent = 0
+        # Checkpoint replay: the generator cannot be deep-copied, so when
+        # checkpointing is enabled every batch pulled from it is logged
+        # (``_batch_log`` is shared across clones by identity) and a
+        # restored run replays the log past its own ``_batch_cursor``
+        # before pulling the live generator again.
+        self._batch_log: list[list[SeedTask] | None] | None = None
+        self._batch_cursor = 0
         if spec.host_feed is not None:
             self._batches = spec.host_feed.batches(ctx.state)
+
+    def enable_replay(self) -> None:
+        """Start logging pulled batches (required before checkpointing)."""
+        if self._batch_log is None:
+            self._batch_log = []
+
+    def _next_batch(self) -> list[SeedTask] | None:
+        if self._batch_log is None:
+            if self._batches is None:
+                return None
+            return next(self._batches, None)
+        if self._batch_cursor < len(self._batch_log):
+            batch = self._batch_log[self._batch_cursor]
+        else:
+            batch = (
+                next(self._batches, None)
+                if self._batches is not None else None
+            )
+            self._batch_log.append(batch)
+        self._batch_cursor += 1
+        return batch
 
     def start(self) -> None:
         """Seed the initial tasks (free: they are enqueued before t=0)."""
@@ -37,12 +65,11 @@ class HostAdapter:
         self._advance_batch()
 
     def _advance_batch(self) -> None:
-        if self._batches is None:
+        if self.spec.host_feed is None:
             self._update_horizon()
             return
-        self._pending = next(self._batches, None)
+        self._pending = self._next_batch()
         if self._pending is None:
-            self._batches = None
             self._exhausted = True
             self._update_horizon()
             return

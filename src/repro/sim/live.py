@@ -53,6 +53,13 @@ class LiveIndexTracker:
     def count(self) -> int:
         return len(self._refs)
 
+    def snapshot(self) -> dict[int, tuple[TaskIndex, int]]:
+        """Handle -> (index, refcount) copy, for the invariant checker."""
+        return dict(self._refs)
+
+    def holds(self, handle: int) -> bool:
+        return handle in self._refs
+
     def minimum(self) -> TaskIndex | None:
         """Current minimum live index (including the host horizon)."""
         live_min: TaskIndex | None = None

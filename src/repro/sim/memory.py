@@ -10,6 +10,7 @@ channel, so everything competes for the bandwidth Figure 10 sweeps.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.eval.platforms import HarpPlatform
@@ -28,11 +29,18 @@ class MemoryStats:
 
 
 class QpiChannel:
-    """A serialized transfer channel with latency and finite bandwidth."""
+    """A serialized transfer channel with latency and finite bandwidth.
 
-    def __init__(self, platform: HarpPlatform, latency_cycles: int) -> None:
+    ``faults`` (a :class:`~repro.sim.faults.FaultPlan`, or None) lets an
+    injected latency spike or bandwidth brownout perturb transfers; the
+    hook costs one identity test when disabled.
+    """
+
+    def __init__(self, platform: HarpPlatform, latency_cycles: int,
+                 faults=None) -> None:
         self.bytes_per_cycle = platform.qpi_bytes_per_cycle
         self.latency = latency_cycles
+        self.faults = faults
         self._free_at = 0
         self.busy_cycles = 0
 
@@ -40,11 +48,21 @@ class QpiChannel:
         """Schedule a transfer; returns its completion cycle."""
         if nbytes <= 0:
             return now
+        bytes_per_cycle = self.bytes_per_cycle
+        latency = self.latency
+        if self.faults is not None:
+            bytes_per_cycle = max(
+                1e-9, bytes_per_cycle * self.faults.bandwidth_factor
+            )
+            latency += self.faults.latency_extra
         start = max(now, self._free_at)
-        duration = max(1, round(nbytes / self.bytes_per_cycle))
+        # Ceiling division: a transfer occupies the channel for every
+        # cycle its bytes need — rounding down would under-charge small
+        # transfers and let modelled bandwidth exceed the platform's.
+        duration = max(1, math.ceil(nbytes / bytes_per_cycle))
         self._free_at = start + duration
         self.busy_cycles += duration
-        return start + duration + self.latency
+        return start + duration + latency
 
     def idle_at(self, now: int) -> bool:
         return self._free_at <= now
@@ -101,15 +119,16 @@ class MemorySystem:
     ways").  Prefetches consume channel bandwidth like any other transfer.
     """
 
-    def __init__(self, platform: HarpPlatform, prefetch: bool = False
-                 ) -> None:
+    def __init__(self, platform: HarpPlatform, prefetch: bool = False,
+                 faults=None) -> None:
         self.platform = platform
         self.prefetch = prefetch
         self.cache = Cache(
             platform.cache_bytes, platform.cache_line_bytes,
             platform.cache_ways,
         )
-        self.channel = QpiChannel(platform, platform.miss_extra_cycles)
+        self.channel = QpiChannel(platform, platform.miss_extra_cycles,
+                                  faults=faults)
         self.stats = MemoryStats()
         self._outstanding: dict[int, _Request] = {}
         self._next_id = 0
@@ -169,10 +188,16 @@ class MemorySystem:
         return request.done_at <= now
 
     def done_at(self, req_id: int) -> int:
-        return self._outstanding[req_id].done_at
+        request = self._outstanding.get(req_id)
+        if request is None:
+            raise SimulationError(f"unknown memory request {req_id}")
+        return request.done_at
 
     def retire(self, req_id: int) -> None:
-        del self._outstanding[req_id]
+        if self._outstanding.pop(req_id, None) is None:
+            raise SimulationError(
+                f"retire of unknown memory request {req_id}"
+            )
 
     @property
     def in_flight(self) -> int:

@@ -25,6 +25,9 @@ class RuleEngineStats:
     clause_fired: int = 0
     requires_fired: int = 0
     peak_occupancy: int = 0
+    events_dropped: int = 0      # injected fault: delivery lost
+    events_duplicated: int = 0   # injected fault: delivery repeated
+    fault_alloc_stalls: int = 0  # stalls charged to failed lanes
 
 
 @dataclass
@@ -35,12 +38,19 @@ class _Lane:
 
 
 class RuleEngineSim:
-    """One rule engine with a fixed number of lanes."""
+    """One rule engine with a fixed number of lanes.
 
-    def __init__(self, name: str, rule_type: RuleType, lanes: int) -> None:
+    ``faults`` (a :class:`~repro.sim.faults.FaultPlan`, or None) models
+    transient lane failures and event-bus glitches; every hook is a
+    single identity test when fault injection is disabled.
+    """
+
+    def __init__(self, name: str, rule_type: RuleType, lanes: int,
+                 faults=None) -> None:
         self.name = name
         self.rule_type = rule_type
         self.max_lanes = lanes
+        self.faults = faults
         self.lanes: dict[int, _Lane] = {}  # keyed by id(instance)
         self.stats = RuleEngineStats()
 
@@ -53,7 +63,14 @@ class RuleEngineSim:
         owner_uid: int,
     ) -> RuleInstance | None:
         """Allocate a lane; None when the engine is full (pipeline stalls)."""
-        if len(self.lanes) >= self.max_lanes:
+        available = self.max_lanes
+        if self.faults is not None:
+            failed = self.faults.lanes_failed(self.name)
+            if failed:
+                available = max(0, available - failed)
+                if len(self.lanes) >= available:
+                    self.stats.fault_alloc_stalls += 1
+        if len(self.lanes) >= available:
             self.stats.alloc_stalls += 1
             return None
         instance = self.rule_type.instantiate(parent_index, args)
@@ -86,11 +103,23 @@ class RuleEngineSim:
 
     def deliver(self, event: Event, source_uid: int) -> None:
         """Broadcast one event to every lane (skipping the source's own)."""
-        for lane in self.lanes.values():
-            if lane.owner_uid == source_uid:
-                continue
-            if not lane.instance.returned:
-                lane.instance.observe(event)
+        if not self.lanes:
+            return
+        rounds = 1
+        if self.faults is not None:
+            action = self.faults.event_action(self.name)
+            if action == "drop":
+                self.stats.events_dropped += 1
+                return
+            if action == "dup":
+                self.stats.events_duplicated += 1
+                rounds = 2
+        for _ in range(rounds):
+            for lane in self.lanes.values():
+                if lane.owner_uid == source_uid:
+                    continue
+                if not lane.instance.returned:
+                    lane.instance.observe(event)
 
     def min_allocated_index(self) -> TaskIndex | None:
         """Minimum parent index over this engine's allocated lanes.

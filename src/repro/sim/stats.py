@@ -24,6 +24,13 @@ class SimStats:
     active_stage_cycles: int = 0   # sum over cycles of active stages
     per_stage_active: dict[str, int] = field(default_factory=dict)
     per_stage_stalls: dict[str, int] = field(default_factory=dict)
+    # Robustness subsystem (fault injection / invariants / recovery).
+    faults_injected: int = 0       # fault-plan events that fired
+    events_dropped: int = 0        # rule-engine deliveries lost to faults
+    events_duplicated: int = 0     # rule-engine deliveries repeated
+    invariant_checks: int = 0      # sanitizer passes that ran
+    checkpoints_taken: int = 0     # snapshots captured
+    rollbacks: int = 0             # recoveries from a checkpoint
 
     @property
     def pipeline_utilization(self) -> float:

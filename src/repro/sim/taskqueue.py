@@ -28,13 +28,14 @@ class MultiBankTaskQueue:
 
     def __init__(
         self, task_set: str, banks: int = 4, depth_per_bank: int = 1024,
-        pop_policy: str = "fifo",
+        pop_policy: str = "fifo", faults=None,
     ) -> None:
         if banks < 1 or depth_per_bank < 1:
             raise SimulationError("queue needs positive banks and depth")
         if pop_policy not in ("fifo", "priority"):
             raise SimulationError(f"unknown pop policy {pop_policy!r}")
         self.task_set = task_set
+        self.faults = faults
         self.banks: list[deque] = [deque() for _ in range(banks)]
         self.depth_per_bank = depth_per_bank
         self.pop_policy = pop_policy
@@ -90,10 +91,14 @@ class MultiBankTaskQueue:
         FIFO policy rotates the wavefront over non-empty banks; priority
         policy pops the minimum index across the per-bank heap heads.
         """
+        faults = self.faults
         if self.pop_policy == "priority":
             best_slot = -1
             best_key = None
             for slot, heap in enumerate(self._heaps):
+                if faults is not None and \
+                        faults.bank_stalled(self.task_set, slot):
+                    continue
                 if heap and (best_key is None or heap[0][0] < best_key):
                     best_key = heap[0][0]
                     best_slot = slot
@@ -105,6 +110,9 @@ class MultiBankTaskQueue:
             return entry
         for offset in range(len(self.banks)):
             slot = (self._pop_wave + offset) % len(self.banks)
+            if faults is not None and \
+                    faults.bank_stalled(self.task_set, slot):
+                continue
             bank = self.banks[slot]
             if bank:
                 self._pop_wave = (slot + 1) % len(self.banks)
@@ -120,6 +128,19 @@ class MultiBankTaskQueue:
         if not heads:
             return None
         return min(heads)[2][0]
+
+    def entries(self):
+        """Yield every queued ``(index, fields, live_handle)`` entry.
+
+        Non-destructive; used by the invariant checker's conservation walk.
+        """
+        if self.pop_policy == "priority":
+            for heap in self._heaps:
+                for _key, _serial, entry in heap:
+                    yield entry
+        else:
+            for bank in self.banks:
+                yield from bank
 
     def bank_occupancy(self) -> list[int]:
         return [len(b) for b in self.banks]

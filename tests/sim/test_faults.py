@@ -1,0 +1,149 @@
+"""Tests for seeded fault injection (FaultPlan and its component hooks)."""
+
+from repro.apps.registry import build_app
+from repro.core.indexing import TaskIndex
+from repro.eval.platforms import HARP, HarpPlatform
+from repro.sim.accelerator import AcceleratorSim, SimConfig
+from repro.sim.faults import FaultEvent, FaultKind, FaultPlan
+from repro.sim.memory import QpiChannel
+from repro.sim.taskqueue import MultiBankTaskQueue
+from repro.substrates.graphs import random_graph
+
+PLATFORM = HarpPlatform()
+GRAPH = random_graph(40, 90, seed=111)
+
+
+def _bfs_spec():
+    return build_app("SPEC-BFS", GRAPH, 0)
+
+
+class TestGeneration:
+    def test_same_seed_same_plan(self):
+        kwargs = dict(engines=("visit", "update"), task_sets=("bfs",),
+                      banks=4, rule_lanes=32)
+        one = FaultPlan.generate(7, 5000, **kwargs)
+        two = FaultPlan.generate(7, 5000, **kwargs)
+        assert one.describe() == two.describe()
+
+    def test_different_seed_different_plan(self):
+        one = FaultPlan.generate(7, 5000)
+        two = FaultPlan.generate(8, 5000)
+        assert one.describe() != two.describe()
+
+    def test_intensity_zero_is_empty(self):
+        assert FaultPlan.generate(7, 5000, intensity=0.0).events == []
+
+    def test_covers_every_kind(self):
+        plan = FaultPlan.generate(3, 10_000, engines=("e",),
+                                  task_sets=("t",))
+        kinds = {event.kind for event in plan.events}
+        assert kinds == set(FaultKind)
+
+    def test_windows_inside_horizon(self):
+        plan = FaultPlan.generate(11, 10_000)
+        for event in plan.events:
+            assert 0 < event.start < 10_000
+
+
+class TestChannelHooks:
+    def test_latency_spike_adds_cycles(self):
+        plan = FaultPlan([FaultEvent(FaultKind.QPI_LATENCY, 0,
+                                     duration=100, magnitude=50)])
+        channel = QpiChannel(PLATFORM, latency_cycles=0, faults=plan)
+        plan.advance(0)
+        assert channel.transfer(0, 35) == 1 + 50
+
+    def test_brownout_scales_bandwidth(self):
+        plan = FaultPlan([FaultEvent(FaultKind.QPI_BROWNOUT, 0,
+                                     duration=100, magnitude=0.5)])
+        channel = QpiChannel(PLATFORM, latency_cycles=0, faults=plan)
+        plan.advance(0)
+        # 350 bytes at 35 B/cycle is 10 cycles; halved bandwidth -> 20.
+        assert channel.transfer(0, 350) == 20
+
+    def test_window_expires(self):
+        plan = FaultPlan([FaultEvent(FaultKind.QPI_LATENCY, 0,
+                                     duration=10, magnitude=50)])
+        channel = QpiChannel(PLATFORM, latency_cycles=0, faults=plan)
+        plan.advance(20)
+        assert channel.transfer(20, 35) == 21
+
+    def test_fired_bookkeeping(self):
+        plan = FaultPlan([FaultEvent(FaultKind.QPI_LATENCY, 5,
+                                     duration=10, magnitude=50)])
+        plan.advance(0)
+        assert plan.fired_count == 0 and plan.pending_count == 1
+        plan.advance(5)
+        assert plan.fired_count == 1 and plan.pending_count == 0
+        assert plan.log
+
+    def test_disarm_fired_removes_perturbation(self):
+        plan = FaultPlan([FaultEvent(FaultKind.QPI_LATENCY, 0,
+                                     duration=100, magnitude=50)])
+        plan.advance(0)
+        assert plan.latency_extra == 50
+        plan.disarm_fired()
+        plan.advance(0)  # the rollback replays from an earlier cycle
+        assert plan.latency_extra == 0
+
+
+class TestQueueHooks:
+    def test_stalled_bank_refuses_pops(self):
+        plan = FaultPlan([FaultEvent(FaultKind.BANK_STALL, 0,
+                                     duration=100, target="t", bank=0)])
+        queue = MultiBankTaskQueue("t", banks=1, depth_per_bank=8,
+                                   faults=plan)
+        queue.push(TaskIndex((1,)), {}, live_handle=0)
+        plan.advance(0)
+        assert queue.pop() is None
+        plan.advance(200)  # window over
+        assert queue.pop() is not None
+
+    def test_other_banks_still_pop(self):
+        plan = FaultPlan([FaultEvent(FaultKind.BANK_STALL, 0,
+                                     duration=100, target="t", bank=0)])
+        queue = MultiBankTaskQueue("t", banks=2, depth_per_bank=8,
+                                   faults=plan)
+        queue.push(TaskIndex((1,)), {}, live_handle=0)  # bank 0
+        queue.push(TaskIndex((2,)), {}, live_handle=1)  # bank 1
+        plan.advance(0)
+        index, _fields, handle = queue.pop()
+        assert handle == 1  # bank 0 is stalled, bank 1 serves
+        assert queue.pop() is None
+
+
+class TestEndToEnd:
+    def test_empty_plan_matches_disabled(self):
+        baseline = AcceleratorSim(_bfs_spec(), platform=HARP).run()
+        empty = AcceleratorSim(_bfs_spec(), platform=HARP,
+                               faults=FaultPlan([])).run()
+        assert empty.cycles == baseline.cycles
+
+    def test_event_drops_counted(self):
+        plan = FaultPlan([FaultEvent(FaultKind.EVENT_DROP, 1,
+                                     duration=1 << 30, magnitude=2)])
+        sim = AcceleratorSim(_bfs_spec(), platform=HARP, faults=plan)
+        result = sim.run(verify=False)
+        assert result.stats.events_dropped == 2
+        assert result.stats.faults_injected == 1
+
+    def test_latency_fault_changes_schedule(self):
+        baseline = AcceleratorSim(_bfs_spec(), platform=HARP).run()
+        plan = FaultPlan([FaultEvent(FaultKind.QPI_LATENCY, 10,
+                                     duration=2000, magnitude=100)])
+        hurt = AcceleratorSim(_bfs_spec(), platform=HARP, faults=plan)
+        result = hurt.run()  # still functionally correct
+        assert result.cycles > baseline.cycles
+
+    def test_seeded_plan_deterministic_end_to_end(self):
+        def campaign():
+            baseline = AcceleratorSim(_bfs_spec(), platform=HARP).run()
+            plan = FaultPlan.generate(
+                7, baseline.cycles, engines=("visit", "update"),
+                task_sets=("bfs",),
+            )
+            sim = AcceleratorSim(_bfs_spec(), platform=HARP, faults=plan)
+            result = sim.run(verify=False)
+            return result.cycles, plan.fired_count, tuple(plan.log)
+
+        assert campaign() == campaign()

@@ -1,5 +1,7 @@
 """Tests for the cache + QPI channel memory model."""
 
+import math
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -141,6 +143,6 @@ def test_channel_busy_time_matches_bytes(sizes):
     channel = QpiChannel(PLATFORM, latency_cycles=0)
     for nbytes in sizes:
         channel.transfer(0, nbytes)
-    expected = sum(max(1, round(n / PLATFORM.qpi_bytes_per_cycle))
+    expected = sum(max(1, math.ceil(n / PLATFORM.qpi_bytes_per_cycle))
                    for n in sizes)
     assert channel.busy_cycles == expected
