@@ -7,19 +7,23 @@ Commands
 ``rules APP``   pretty-print an application's ECA rules
 ``run APP``     execute on the aggressive software (debug) runtime
 ``simulate APP``cycle-level accelerator simulation, optional schedule trace
+``profile APP`` stall-attribution profile (see docs/observability.md)
 ``experiment``  regenerate table1 / figure9 / figure10 / resources
 ``dse APP``     design-space exploration (Pareto frontier)
 ``fault-campaign``  seeded fault injection with checkpoint/rollback recovery
 
 ``simulate`` accepts ``--inject SEED`` (seeded fault plan),
-``--check-invariants`` (runtime sanitizer) and ``--resilient``
-(checkpoint/rollback recovery).  All commands verify functional results
-where applicable.
+``--check-invariants`` (runtime sanitizer), ``--resilient``
+(checkpoint/rollback recovery), and the observability exports
+``--trace-out FILE`` (Chrome ``trace_event`` JSON, loadable in Perfetto)
+and ``--metrics-out FILE`` (metrics-registry snapshot).  All commands
+verify functional results where applicable.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable
 
@@ -28,6 +32,8 @@ from repro.core.runtime import AggressiveRuntime
 from repro.core.eca import parse_rule
 from repro.core.eca_format import format_rule
 from repro.eval.platforms import EVAL_HARP
+from repro.obs import Observability
+from repro.obs.profile import format_stall_report
 from repro.sim.accelerator import AcceleratorSim, SimConfig
 from repro.sim.trace import ScheduleTracer
 from repro.substrates.graphs.generators import random_graph
@@ -102,6 +108,23 @@ def _build_fault_plan(spec, config: SimConfig, seed: int,
     )
 
 
+def _write_observability(args: argparse.Namespace, result) -> None:
+    """Export the run's trace / metrics snapshot where requested."""
+    trace_out = getattr(args, "trace_out", None)
+    metrics_out = getattr(args, "metrics_out", None)
+    if trace_out and result.obs is not None:
+        result.obs.tracer.write_chrome_trace(trace_out)
+        print(f"wrote {trace_out} "
+              f"({result.obs.tracer.emitted} events, "
+              f"{result.obs.tracer.evicted} evicted)")
+    if metrics_out and result.metrics is not None:
+        with open(metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(result.metrics.snapshot(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {metrics_out}")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.accelerator import run_resilient
     from repro.sim.invariants import DEFAULT_CHECK_INTERVAL
@@ -109,6 +132,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     spec = _default_spec(args.app)
     tracer = ScheduleTracer(max_cycles=args.trace_cycles) if args.trace \
         else None
+    obs = Observability() if (args.trace_out or args.metrics_out) else None
     platform = EVAL_HARP.scaled(args.bandwidth)
     config = SimConfig(prefetch=args.prefetch)
     check_interval = (
@@ -134,6 +158,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             faults=faults,
             check_interval=check_interval
             if check_interval is not None else DEFAULT_CHECK_INTERVAL,
+            obs=obs,
         )
         result = res.result
         print(f"{spec.name}: recovered={res.recovered} "
@@ -144,6 +169,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         sim = AcceleratorSim(
             spec, platform=platform, config=config,
             tracer=tracer, faults=faults, check_interval=check_interval,
+            obs=obs,
         )
         result = sim.run()
     print(f"{spec.name}: {result.cycles} cycles "
@@ -163,6 +189,36 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         for name, count in stalls:
             active = result.stats.per_stage_active.get(name, 0)
             print(f"  {name:40s} stall={count:7d} active={active:7d}")
+    _write_observability(args, result)
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Stall-attribution profile: where does every stage's time go?
+
+    Runs the simulation with the structured tracer attached, folds the
+    event stream into per-stage cycle accounting (active / stalled by
+    reason / idle — each row sums exactly to the cycle count) and prints
+    the most-stalled stages.  ``--trace-out`` additionally exports the
+    Chrome ``trace_event`` JSON for Perfetto.
+    """
+    spec = _default_spec(args.app)
+    obs = Observability(trace_capacity=args.trace_capacity)
+    platform = EVAL_HARP.scaled(args.bandwidth)
+    sim = AcceleratorSim(
+        spec, platform=platform, config=SimConfig(), obs=obs,
+    )
+    result = sim.run()
+    stage_names = [
+        stage.name for pipeline in sim.pipelines for stage in pipeline.stages
+    ]
+    accounting = obs.profiler.accounting(stage_names, result.cycles)
+    print(f"{spec.name}: {result.cycles} cycles, "
+          f"utilization {result.utilization * 100:.1f}%, "
+          f"squash {result.squash_fraction * 100:.1f}% — VERIFIED")
+    print()
+    print(format_stall_report(accounting, result.cycles, top=args.top))
+    _write_observability(args, result)
     return 0
 
 
@@ -176,9 +232,12 @@ def cmd_fault_campaign(args: argparse.Namespace) -> int:
     """
     from repro.errors import RecoveryExhaustedError
     from repro.sim.accelerator import run_resilient
+    from repro.sim.stats import SimStats
 
     config = SimConfig()
     all_ok = True
+    runs: list[dict] = []
+    aggregate = SimStats()
     print(f"fault campaign: seed={args.seed} trials={args.trials} "
           f"intensity={args.intensity}")
     for app in args.apps:
@@ -200,6 +259,16 @@ def cmd_fault_campaign(args: argparse.Namespace) -> int:
                 print(f"  {app:10s} trial={trial} — FAILED: {exc}")
                 continue
             stats = res.result.stats
+            aggregate = aggregate.merge(stats)
+            runs.append({
+                "app": app,
+                "trial": trial,
+                "seed": args.seed + trial,
+                "cycles": res.result.cycles,
+                "baseline_cycles": baseline.cycles,
+                "rollbacks": res.rollbacks,
+                "metrics": res.result.metrics.snapshot(),
+            })
             print(f"  {app:10s} trial={trial} "
                   f"injected={stats.faults_injected} "
                   f"dropped={stats.events_dropped} "
@@ -212,6 +281,20 @@ def cmd_fault_campaign(args: argparse.Namespace) -> int:
             for failure in res.failures:
                 print(f"    recovered@{failure.cycle}: "
                       f"{type(failure.error).__name__}: {failure.error}")
+    if args.metrics_out:
+        from dataclasses import asdict
+
+        payload = {
+            "seed": args.seed,
+            "trials": args.trials,
+            "intensity": args.intensity,
+            "runs": runs,
+            "aggregate": asdict(aggregate),
+        }
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.metrics_out} ({len(runs)} run snapshots)")
     print("campaign: " + ("all runs VERIFIED" if all_ok
                           else "some runs FAILED"))
     return 0 if all_ok else 1
@@ -320,7 +403,29 @@ def build_parser() -> argparse.ArgumentParser:
                           help="cycles between sanitizer passes")
     simulate.add_argument("--resilient", action="store_true",
                           help="run under checkpoint/rollback recovery")
+    simulate.add_argument("--trace-out", metavar="FILE",
+                          help="write a Chrome trace_event JSON "
+                               "(load in Perfetto / chrome://tracing)")
+    simulate.add_argument("--metrics-out", metavar="FILE",
+                          help="write a metrics-registry snapshot JSON")
     simulate.set_defaults(handler=cmd_simulate)
+
+    profile = sub.add_parser(
+        "profile",
+        help="stall-attribution profile of a simulated run",
+    )
+    profile.add_argument("app")
+    profile.add_argument("--bandwidth", type=float, default=1.0,
+                         help="QPI bandwidth multiplier (Figure 10 knob)")
+    profile.add_argument("--top", type=int, default=16,
+                         help="rows to print (most-stalled first)")
+    profile.add_argument("--trace-capacity", type=int, default=65536,
+                         help="event ring-buffer capacity")
+    profile.add_argument("--trace-out", metavar="FILE",
+                         help="also write the Chrome trace_event JSON")
+    profile.add_argument("--metrics-out", metavar="FILE",
+                         help="also write the metrics snapshot JSON")
+    profile.set_defaults(handler=cmd_profile)
 
     campaign = sub.add_parser(
         "fault-campaign",
@@ -334,6 +439,9 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--intensity", type=float, default=1.0)
     campaign.add_argument("--check-interval", type=int, default=2048)
     campaign.add_argument("--checkpoint-interval", type=int, default=5000)
+    campaign.add_argument("--metrics-out", metavar="FILE",
+                          help="write per-run metric snapshots plus the "
+                               "merged aggregate as JSON")
     campaign.set_defaults(handler=cmd_fault_campaign)
 
     experiment = sub.add_parser("experiment",

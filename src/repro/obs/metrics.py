@@ -1,0 +1,132 @@
+"""The metrics registry: named counters, gauges, and log-scaled histograms.
+
+Components register instruments against the registry instead of poking
+fields on a stats dataclass; :class:`~repro.sim.stats.SimStats` is then
+re-derived from the registry for backward compatibility.  Instruments are
+bound once at construction (an increment is one attribute add, the same
+cost as the ``dataclass.field += 1`` it replaces), and a registry
+snapshot is a plain sorted dict that serializes deterministically.
+
+Histograms use log2 buckets — bucket *k* holds values whose bit length
+is *k*, i.e. ``2**(k-1) <= value < 2**k`` (bucket 0 holds zeros) — the
+right shape for queue occupancies and memory latencies that span orders
+of magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Log2-bucketed distribution of non-negative integers."""
+
+    __slots__ = ("name", "count", "total", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.buckets: list[int] = []
+
+    def record(self, value) -> None:
+        value = int(value)
+        if value < 0:
+            value = 0
+        idx = value.bit_length()
+        buckets = self.buckets
+        if idx >= len(buckets):
+            buckets.extend([0] * (idx + 1 - len(buckets)))
+        buckets[idx] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def bucket_labels(self) -> list[str]:
+        return ["0" if k == 0 else f"<{1 << k}"
+                for k in range(len(self.buckets))]
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by dotted metric names."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def _get(self, table: dict, cls, name: str):
+        instrument = table.get(name)
+        if instrument is None:
+            for other in (self.counters, self.gauges, self.histograms):
+                if other is not table and name in other:
+                    raise SimulationError(
+                        f"metric {name!r} already registered with a "
+                        "different instrument type"
+                    )
+            instrument = table[name] = cls(name)
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(self.counters, Counter, name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self.gauges, Gauge, name)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self.histograms, Histogram, name)
+
+    def counter_value(self, name: str, default: int = 0) -> int:
+        counter = self.counters.get(name)
+        return counter.value if counter is not None else default
+
+    # -- export ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A deterministic, JSON-serializable view of every instrument."""
+        return {
+            "counters": {
+                name: c.value for name, c in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "mean": round(h.mean, 6),
+                    "buckets": dict(zip(h.bucket_labels(), h.buckets)),
+                }
+                for name, h in sorted(self.histograms.items())
+            },
+        }

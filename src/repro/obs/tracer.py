@@ -1,0 +1,158 @@
+"""Ring-buffered structured event tracer with Chrome trace export.
+
+The tracer keeps the most recent ``capacity`` events in a ring (old
+events fall off the back, so tracing a long run is bounded-memory) and
+fans every event out to online *sinks* as it is emitted — sinks such as
+the stall-attribution profiler therefore see the complete stream even
+when the ring has wrapped.
+
+The ring exports to the Chrome ``trace_event`` JSON format, loadable in
+``chrome://tracing`` or https://ui.perfetto.dev: stage activity becomes
+per-stage duration slices, queue traffic becomes counter tracks, rule
+and memory events become instants.  Cycle *n* is rendered at timestamp
+*n* microseconds.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Callable
+
+from repro.obs.events import StallReason, TraceEvent, TraceEventKind
+
+# Synthetic process ids grouping the Chrome trace tracks.
+_PID_PIPELINES = 1
+_PID_QUEUES = 2
+_PID_RULES = 3
+_PID_MEMORY = 4
+_PID_RECOVERY = 5
+
+_PROCESS_NAMES = {
+    _PID_PIPELINES: "pipelines",
+    _PID_QUEUES: "task queues",
+    _PID_RULES: "rule engines",
+    _PID_MEMORY: "memory system",
+    _PID_RECOVERY: "checkpoint/rollback",
+}
+
+
+class EventTracer:
+    """Bounded ring of :class:`TraceEvent` plus online fan-out."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.capacity = capacity
+        self.ring: deque[TraceEvent] = deque(maxlen=capacity)
+        self.sinks: list[Callable[[TraceEvent], None]] = []
+        self.emitted = 0
+
+    # -- emission -------------------------------------------------------------
+
+    def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:
+        self.sinks.append(sink)
+
+    def emit(
+        self,
+        cycle: int,
+        kind: TraceEventKind,
+        name: str,
+        reason: StallReason | None = None,
+        data: dict | None = None,
+    ) -> None:
+        event = TraceEvent(cycle, kind, name, reason, data)
+        self.ring.append(event)
+        self.emitted += 1
+        for sink in self.sinks:
+            sink(event)
+
+    @property
+    def evicted(self) -> int:
+        """Events that fell off the ring (still seen by the sinks)."""
+        return self.emitted - len(self.ring)
+
+    def events(self) -> list[TraceEvent]:
+        return list(self.ring)
+
+    # -- Chrome trace_event export ---------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """The ring as a Chrome ``trace_event`` JSON document (a dict)."""
+        out: list[dict] = []
+        tids: dict[tuple[int, str], int] = {}
+
+        def tid(pid: int, name: str) -> int:
+            key = (pid, name)
+            ident = tids.get(key)
+            if ident is None:
+                ident = len(tids) + 1
+                tids[key] = ident
+                out.append({
+                    "ph": "M", "name": "thread_name", "pid": pid,
+                    "tid": ident, "args": {"name": name},
+                })
+            return ident
+
+        for pid, pname in _PROCESS_NAMES.items():
+            out.append({
+                "ph": "M", "name": "process_name", "pid": pid,
+                "args": {"name": pname},
+            })
+
+        for ev in self.ring:
+            kind = ev.kind
+            if kind is TraceEventKind.STAGE_FIRE:
+                out.append({
+                    "name": "active", "ph": "X", "ts": ev.cycle, "dur": 1,
+                    "pid": _PID_PIPELINES, "tid": tid(_PID_PIPELINES, ev.name),
+                })
+            elif kind is TraceEventKind.STAGE_STALL:
+                out.append({
+                    "name": f"stall:{ev.reason.value}", "ph": "X",
+                    "ts": ev.cycle, "dur": 1,
+                    "pid": _PID_PIPELINES, "tid": tid(_PID_PIPELINES, ev.name),
+                })
+            elif kind in (TraceEventKind.TOKEN_ENQ, TraceEventKind.TOKEN_DEQ):
+                out.append({
+                    "name": f"queue:{ev.name}", "ph": "C", "ts": ev.cycle,
+                    "pid": _PID_QUEUES,
+                    "args": {"occupancy": (ev.data or {}).get("occupancy", 0)},
+                })
+            elif kind in (TraceEventKind.RULE_PROMISE,
+                          TraceEventKind.RULE_RENDEZVOUS,
+                          TraceEventKind.RULE_RETURN,
+                          TraceEventKind.RULE_SQUASH):
+                out.append({
+                    "name": kind.value, "ph": "i", "s": "t", "ts": ev.cycle,
+                    "pid": _PID_RULES, "tid": tid(_PID_RULES, ev.name),
+                    "args": dict(ev.data) if ev.data else {},
+                })
+            elif kind in (TraceEventKind.MEM_ISSUE, TraceEventKind.MEM_HIT,
+                          TraceEventKind.MEM_MISS,
+                          TraceEventKind.MEM_COMPLETE):
+                out.append({
+                    "name": kind.value, "ph": "i", "s": "t", "ts": ev.cycle,
+                    "pid": _PID_MEMORY, "tid": tid(_PID_MEMORY, "channel"),
+                    "args": dict(ev.data) if ev.data else {},
+                })
+            else:  # CHECKPOINT / ROLLBACK
+                out.append({
+                    "name": kind.value, "ph": "i", "s": "g", "ts": ev.cycle,
+                    "pid": _PID_RECOVERY, "tid": tid(_PID_RECOVERY, "recovery"),
+                    "args": dict(ev.data) if ev.data else {},
+                })
+        return {
+            "traceEvents": out,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "emitted": self.emitted,
+                "evicted": self.evicted,
+                "timestampUnit": "1 us == 1 simulated cycle",
+            },
+        }
+
+    def write_chrome_trace(self, path) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.chrome_trace(), handle, indent=None,
+                      separators=(",", ":"), sort_keys=False)

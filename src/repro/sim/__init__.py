@@ -9,6 +9,15 @@ parameterizable bandwidth.  The simulation is *functional*: it computes the
 application's real answer, which is verified against the sequential oracle.
 """
 
+from repro.obs import (
+    EventTracer,
+    MetricsRegistry,
+    Observability,
+    StallProfiler,
+    StallReason,
+    TraceEvent,
+    TraceEventKind,
+)
 from repro.sim.accelerator import (
     AcceleratorSim,
     ResilientResult,
@@ -19,16 +28,27 @@ from repro.sim.accelerator import (
 from repro.sim.checkpoint import CheckpointManager
 from repro.sim.faults import FaultEvent, FaultKind, FaultPlan
 from repro.sim.invariants import InvariantChecker
+from repro.sim.stats import SimStats
+from repro.sim.trace import ScheduleTracer
 
 __all__ = [
     "AcceleratorSim",
     "CheckpointManager",
+    "EventTracer",
     "FaultEvent",
     "FaultKind",
     "FaultPlan",
     "InvariantChecker",
+    "MetricsRegistry",
+    "Observability",
     "ResilientResult",
+    "ScheduleTracer",
     "SimResult",
+    "SimStats",
+    "StallProfiler",
+    "StallReason",
+    "TraceEvent",
+    "TraceEventKind",
     "run_resilient",
     "simulate_app",
 ]

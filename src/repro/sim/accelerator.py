@@ -23,6 +23,7 @@ from repro.errors import (
     SpecificationError,
 )
 from repro.eval.platforms import HARP, HarpPlatform
+from repro.obs import MetricsRegistry, Observability
 from repro.sim.faults import FaultPlan
 from repro.sim.host import HostAdapter
 from repro.sim.invariants import DEFAULT_CHECK_INTERVAL, InvariantChecker
@@ -30,7 +31,7 @@ from repro.sim.live import LiveIndexTracker
 from repro.sim.memory import MemorySystem
 from repro.sim.pipeline import PipelineInstance
 from repro.sim.rule_engine import RuleEngineSim
-from repro.sim.stats import SimStats
+from repro.sim.stats import SimCounters, SimStats
 from repro.sim.taskqueue import MultiBankTaskQueue
 from repro.sim.token import SimToken
 from repro.synthesis.datapath import Datapath, build_datapath
@@ -83,6 +84,12 @@ class SimResult:
     utilization: float
     squash_fraction: float
     bandwidth_scale: float
+    # Observability: the run's metrics registry, and — when the run was
+    # observed — the Observability bundle of the *finishing* simulator
+    # (under rollback recovery that is a revived clone, not the caller's
+    # original instance).
+    metrics: MetricsRegistry | None = None
+    obs: Observability | None = None
 
 
 class AcceleratorSim:
@@ -98,19 +105,26 @@ class AcceleratorSim:
         tracer=None,
         faults: FaultPlan | None = None,
         check_interval: int | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.spec = spec
         self.platform = platform
         self.config = config
         self.tracer = tracer
         self.faults = faults
+        self.obs = obs
+        # Hot-path counters live in a metrics registry; when an
+        # Observability bundle is attached its registry is used directly
+        # so traces and metrics describe the same run.
+        self.metrics = obs.registry if obs is not None else MetricsRegistry()
+        self.counters = SimCounters.register(self.metrics)
         self.cycle = 0
         self.stats = SimStats()
         self.state = spec.make_state()
         self.minter = spec.make_loop_nest()
         self.tracker = LiveIndexTracker()
         self.memory = MemorySystem(platform, prefetch=config.prefetch,
-                                   faults=faults)
+                                   faults=faults, obs=obs)
         self.active_stages_this_cycle = 0
         # Robustness machinery: an invariant sanitizer (None = disabled)
         # and a checkpoint manager attached by run_resilient.
@@ -137,7 +151,7 @@ class AcceleratorSim:
                 pop_policy=(
                     "priority" if name in spec.priority_fields else "fifo"
                 ),
-                faults=faults,
+                faults=faults, obs=obs,
             )
             for name in spec.task_sets
         }
@@ -151,7 +165,7 @@ class AcceleratorSim:
         )
         self.engines: dict[str, RuleEngineSim] = {
             name: RuleEngineSim(name, rule_type, config.rule_lanes,
-                                faults=faults)
+                                faults=faults, obs=obs)
             for name, rule_type in spec.rules.items()
         }
         self.pipelines: list[PipelineInstance] = []
@@ -178,7 +192,7 @@ class AcceleratorSim:
         index = self.minter.mint(task_set, fields, parent)
         handle = self.tracker.register(index)
         self.queues[task_set].push(index, fields, handle)
-        self.stats.tasks_activated += 1
+        self.counters.tasks_activated.inc()
         self.emit_at(
             self.cycle + 1,
             Event(EventKind.ACTIVATE, task_set, "", index, dict(fields)),
@@ -188,7 +202,7 @@ class AcceleratorSim:
     def retire(self, token: SimToken, outcome: str) -> None:
         """Token leaves the datapath: free liveness and leftover lanes."""
         if outcome == "commit":
-            self.stats.commits += 1
+            self.counters.commits.inc()
         for engine, instance in token.lanes:
             engine.release(instance)
         token.lanes.clear()
@@ -211,7 +225,7 @@ class AcceleratorSim:
     def _deliver_events(self) -> None:
         while self._event_heap and self._event_heap[0][0] <= self.cycle:
             _, _, event, source_uid = heapq.heappop(self._event_heap)
-            self.stats.events_delivered += 1
+            self.counters.events_delivered.inc()
             for engine in self.engines.values():
                 engine.deliver(event, source_uid)
 
@@ -228,6 +242,10 @@ class AcceleratorSim:
 
     def step(self) -> None:
         """Advance one cycle."""
+        if self.obs is not None:
+            # Components without a cycle argument (queues, engines, the
+            # retire port) timestamp their events off this.
+            self.obs.now = self.cycle
         if self.faults is not None:
             self.faults.advance(self.cycle)
         if self.checkpoints is not None:
@@ -251,7 +269,7 @@ class AcceleratorSim:
                     engine.broadcast_minimum(engine.min_allocated_index())
         for pipeline in self.pipelines:
             pipeline.commit_fifos()
-        self.stats.active_stage_cycles += self.active_stages_this_cycle
+        self.counters.active_stage_cycles.inc(self.active_stages_this_cycle)
         if self.active_stages_this_cycle or self.memory.pending(self.cycle):
             self._last_progress_cycle = self.cycle
         self.cycle += 1
@@ -277,6 +295,7 @@ class AcceleratorSim:
                 for pipeline in self.pipelines:
                     report.extend(pipeline.stuck_report())
                 raise DeadlockError(self.cycle, "; ".join(report[:8]))
+        self.stats.sync_from(self.metrics)
         for pipeline in self.pipelines:
             for stage in pipeline.stages:
                 self.stats.per_stage_active[stage.name] = \
@@ -308,6 +327,8 @@ class AcceleratorSim:
             utilization=self.stats.pipeline_utilization,
             squash_fraction=self.stats.squash_fraction,
             bandwidth_scale=self.platform.bandwidth_scale,
+            metrics=self.metrics,
+            obs=self.obs,
         )
 
 
@@ -317,10 +338,11 @@ def simulate_app(
     config: SimConfig = SimConfig(),
     replicas: dict[str, int] | None = None,
     verify: bool = True,
+    obs: Observability | None = None,
 ) -> SimResult:
     """Convenience wrapper: build, run, verify, report."""
     sim = AcceleratorSim(
-        spec, platform=platform, config=config, replicas=replicas
+        spec, platform=platform, config=config, replicas=replicas, obs=obs
     )
     return sim.run(verify=verify)
 
@@ -374,6 +396,7 @@ def run_resilient(
     max_attempts: int = 8,
     degrade: bool = True,
     verify: bool = True,
+    obs: Observability | None = None,
 ) -> ResilientResult:
     """Run under checkpoint/rollback recovery.
 
@@ -391,7 +414,7 @@ def run_resilient(
 
     sim = AcceleratorSim(
         spec, platform=platform, config=config, replicas=replicas,
-        faults=faults, check_interval=check_interval,
+        faults=faults, check_interval=check_interval, obs=obs,
     )
     manager = CheckpointManager(sim, interval=checkpoint_interval)
     sim.checkpoints = manager

@@ -119,6 +119,11 @@ class CheckpointManager:
             del self.checkpoints[1]
         self.captures += 1
         self._next_capture = self.sim.cycle + self.interval
+        if self.sim.obs is not None:
+            # Recorded *after* the snapshot, so a restored run re-emits
+            # the marker when it re-captures — the trace always reflects
+            # the executed timeline.
+            self.sim.obs.checkpoint(self.sim.cycle, self.captures)
         return checkpoint
 
     # -- rollback -------------------------------------------------------------
@@ -140,4 +145,10 @@ class CheckpointManager:
             # Force the plan's cached view to recompute at the rolled-back
             # cycle (the clock just moved backwards).
             sim.faults.advance(max(0, checkpoint.cycle))
+        if sim.obs is not None:
+            # The revived observability bundle was restored along with the
+            # simulator (it is deliberately NOT a shared root), so cycles
+            # past the checkpoint are already forgotten — replay cannot
+            # double-count.  Stamp the rollback on the restored timeline.
+            sim.obs.rollback(checkpoint.cycle)
         return sim

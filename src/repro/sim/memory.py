@@ -120,9 +120,10 @@ class MemorySystem:
     """
 
     def __init__(self, platform: HarpPlatform, prefetch: bool = False,
-                 faults=None) -> None:
+                 faults=None, obs=None) -> None:
         self.platform = platform
         self.prefetch = prefetch
+        self.obs = obs  # Observability hooks (None = zero cost)
         self.cache = Cache(
             platform.cache_bytes, platform.cache_line_bytes,
             platform.cache_ways,
@@ -145,7 +146,8 @@ class MemorySystem:
         """A pipeline load; returns a request id."""
         self.stats.loads += 1
         line = self.platform.cache_line_bytes
-        if self.cache.access(addr):
+        hit = self.cache.access(addr)
+        if hit:
             self.stats.load_hits += 1
             done = now + self.platform.cache_hit_cycles
         else:
@@ -159,6 +161,9 @@ class MemorySystem:
                     self.channel.transfer(now, line)
                     self.stats.bytes_transferred += line
                     self.stats.prefetches += 1
+        if self.obs is not None:
+            self.obs.mem_issue(now, "load", nbytes)
+            self.obs.mem_load(now, addr, hit, done - now)
         return self._track(done, nbytes)
 
     def issue_store(self, now: int, addr: int, nbytes: int = 8) -> None:
@@ -169,10 +174,14 @@ class MemorySystem:
             # The posted write still crosses the channel.
             self.channel.transfer(now, nbytes)
             self.stats.bytes_transferred += nbytes
+        if self.obs is not None:
+            self.obs.mem_issue(now, "store", nbytes)
 
     def issue_stream(self, now: int, nbytes: int) -> int:
         """A bulk sequential transfer (CSR row, host batch, block operand)."""
         self.stats.streams += 1
+        if self.obs is not None:
+            self.obs.mem_issue(now, "stream", nbytes)
         if nbytes <= 0:
             return self._track(now + 1, 0)
         done = self.channel.transfer(now, nbytes)
@@ -198,6 +207,8 @@ class MemorySystem:
             raise SimulationError(
                 f"retire of unknown memory request {req_id}"
             )
+        if self.obs is not None:
+            self.obs.mem_complete()
 
     @property
     def in_flight(self) -> int:

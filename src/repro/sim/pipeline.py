@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from repro.errors import SimulationError
+from repro.obs.events import StallReason
 from repro.sim.stages import (
     RendezvousStage,
     Stage,
@@ -21,13 +22,22 @@ class SourceStage(Stage):
         self.task_set = task_set
 
     def tick(self) -> None:
+        queue = self.ctx.queues[self.task_set]
         if not self.can_send():
+            if len(queue):
+                self._stall(StallReason.BACKPRESSURE)
             return
         credits = self.ctx.admission_credits
         if credits is not None and credits[self.task_set] <= 0:
+            if len(queue):
+                # Admission credits are bounded by the rule-lane count.
+                self._stall(StallReason.RULE)
             return
-        popped = self.ctx.queues[self.task_set].pop()
+        popped = queue.pop()
         if popped is None:
+            if len(queue):
+                # Work is queued but every bank refused the pop (faults).
+                self._stall(StallReason.QUEUE)
             return
         if credits is not None:
             credits[self.task_set] -= 1

@@ -46,11 +46,12 @@ class RuleEngineSim:
     """
 
     def __init__(self, name: str, rule_type: RuleType, lanes: int,
-                 faults=None) -> None:
+                 faults=None, obs=None) -> None:
         self.name = name
         self.rule_type = rule_type
         self.max_lanes = lanes
         self.faults = faults
+        self.obs = obs  # Observability hooks (None = zero cost)
         self.lanes: dict[int, _Lane] = {}  # keyed by id(instance)
         self.stats = RuleEngineStats()
 
@@ -79,6 +80,8 @@ class RuleEngineSim:
         self.stats.peak_occupancy = max(
             self.stats.peak_occupancy, len(self.lanes)
         )
+        if self.obs is not None:
+            self.obs.rule_promise(self.name, len(self.lanes))
         return instance
 
     def mark_awaited(self, instance: RuleInstance) -> None:
@@ -86,6 +89,8 @@ class RuleEngineSim:
         lane = self.lanes.get(id(instance))
         if lane is not None:
             lane.awaited = True
+            if self.obs is not None:
+                self.obs.rule_rendezvous(self.name)
 
     def release(self, instance: RuleInstance) -> None:
         """The rendezvous consumed the verdict; free the lane."""
@@ -98,6 +103,8 @@ class RuleEngineSim:
             self.stats.requires_fired += 1
         elif instance.verdict is RuleVerdict.CLAUSE:
             self.stats.clause_fired += 1
+        if self.obs is not None:
+            self.obs.rule_return(self.name, instance.verdict.name.lower())
 
     # -- event bus ------------------------------------------------------------
 

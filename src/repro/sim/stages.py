@@ -27,6 +27,7 @@ from repro.core.kernel import (
     Store,
 )
 from repro.errors import SimulationError
+from repro.obs.events import StallReason
 from repro.sim.fifo import Fifo
 from repro.sim.token import SimToken
 
@@ -68,7 +69,7 @@ class Stage:
         if self.input.visible == 0:
             return
         if not self.can_send():
-            self.stall_cycles += 1
+            self._stall(StallReason.BACKPRESSURE)
             return
         token = self.input.pop()
         self.process(token)
@@ -82,6 +83,14 @@ class Stage:
         self.ctx.active_stages_this_cycle += 1
         if self.ctx.tracer is not None:
             self.ctx.tracer.record(self.ctx.cycle, self.name)
+        if self.ctx.obs is not None:
+            self.ctx.obs.stage_fire(self.ctx.cycle, self.name)
+
+    def _stall(self, reason: StallReason) -> None:
+        """One stalled cycle, attributed to the blocking resource."""
+        self.stall_cycles += 1
+        if self.ctx.obs is not None:
+            self.ctx.obs.stage_stall(self.ctx.cycle, self.name, reason)
 
     def busy(self) -> bool:
         return len(self.input) > 0
@@ -133,7 +142,9 @@ class LoadStage(Stage):
     def tick(self) -> None:
         ctx = self.ctx
         # 1) release one completed request (head-only when in-order).
-        if self.station and self.can_send():
+        if self.station and not self.can_send():
+            self._stall(StallReason.BACKPRESSURE)
+        elif self.station:
             candidates = self.station[:1] if self.in_order else self.station
             for entry in candidates:
                 token, req = entry
@@ -155,7 +166,7 @@ class LoadStage(Stage):
             req = ctx.memory.issue_load(ctx.cycle, addr)
             self.station.append((token, req))
         elif self.input.visible:
-            self.stall_cycles += 1
+            self._stall(StallReason.MEMORY)
 
     def busy(self) -> bool:
         return bool(self.station) or len(self.input) > 0
@@ -206,21 +217,21 @@ class SwitchStage(Stage):
         taken = bool(op.pred(token.env))
         if taken:
             if not self.can_send():
-                self.stall_cycles += 1
+                self._stall(StallReason.BACKPRESSURE)
                 return
             self.input.pop()
             self.send(token)
         else:
             if self.epilogue_entry is not None:
                 if not self.epilogue_entry.can_push():
-                    self.stall_cycles += 1
+                    self._stall(StallReason.BACKPRESSURE)
                     return
                 self.input.pop()
-                self.ctx.stats.guard_drops += 1
+                self.ctx.counters.guard_drops.inc()
                 self.epilogue_entry.push(token)
             else:
                 self.input.pop()
-                self.ctx.stats.guard_drops += 1
+                self.ctx.counters.guard_drops.inc()
                 self.ctx.retire(token, "drop")
         self.mark_active()
 
@@ -260,7 +271,7 @@ class ExpandStage(Stage):
                     if entry[2] >= len(items):
                         self._inflight.pop(0)
                 else:
-                    self.stall_cycles += 1
+                    self._stall(StallReason.BACKPRESSURE)
         # 2) accept one new expansion (issue its row fetch).
         if self.input.visible and len(self._inflight) < self.depth:
             token = self.input.pop()
@@ -278,7 +289,7 @@ class ExpandStage(Stage):
             )
             self._inflight.append([token, items, 0, stream_req])
         elif self.input.visible:
-            self.stall_cycles += 1
+            self._stall(StallReason.MEMORY)
 
     def busy(self) -> bool:
         return bool(self._inflight) or len(self.input) > 0
@@ -291,7 +302,7 @@ class AllocRuleStage(Stage):
         if self.input.visible == 0:
             return
         if not self.can_send():
-            self.stall_cycles += 1
+            self._stall(StallReason.BACKPRESSURE)
             return
         token = self.input.peek()
         op: AllocRule = self.op
@@ -300,7 +311,7 @@ class AllocRuleStage(Stage):
             token.index, dict(op.args(token.env)), token.task_uid
         )
         if instance is None:
-            self.stall_cycles += 1
+            self._stall(StallReason.RULE)
             return
         self.input.pop()
         token.lanes.append((engine, instance))
@@ -324,6 +335,8 @@ class RendezvousStage(Stage):
     def tick(self) -> None:
         ctx = self.ctx
         # 1) release one decided token.
+        released = False
+        blocked = False
         candidates = self.station[:1] if self.in_order else self.station
         for token in list(candidates):
             engine, instance = token.lanes[0]
@@ -331,6 +344,7 @@ class RendezvousStage(Stage):
                 continue
             if instance.value:
                 if not self.can_send():
+                    blocked = True
                     continue
                 self.station.remove(token)
                 token.lanes.pop(0)
@@ -339,17 +353,25 @@ class RendezvousStage(Stage):
             else:
                 if self.epilogue_entry is not None and \
                         not self.epilogue_entry.can_push():
+                    blocked = True
                     continue
                 self.station.remove(token)
                 token.lanes.pop(0)
                 engine.release(instance)
-                ctx.stats.squashes += 1
+                ctx.counters.squashes.inc()
+                if ctx.obs is not None:
+                    ctx.obs.rule_squash(ctx.cycle, engine.name)
                 if self.epilogue_entry is not None:
                     self.epilogue_entry.push(token)
                 else:
                     ctx.retire(token, "squash")
             self.mark_active()
+            released = True
             break
+        if blocked and not released:
+            # A decided token could not leave: downstream backpressure
+            # (previously unaccounted — the cycle showed up as idle).
+            self._stall(StallReason.BACKPRESSURE)
         # 2) admit one waiting token into the station.
         if self.input.visible and len(self.station) < self.depth:
             token = self.input.pop()
@@ -365,7 +387,7 @@ class RendezvousStage(Stage):
                 instance.trigger_otherwise()
             self.station.append(token)
         elif self.input.visible:
-            self.stall_cycles += 1
+            self._stall(StallReason.RULE)
 
     def busy(self) -> bool:
         return bool(self.station) or len(self.input) > 0
@@ -378,15 +400,15 @@ class EnqueueStage(Stage):
         if self.input.visible == 0:
             return
         if not self.can_send():
-            self.stall_cycles += 1
+            self._stall(StallReason.BACKPRESSURE)
             return
         token = self.input.peek()
         op: Enqueue = self.op
         if op.when is None or op.when(token.env):
             queue = self.ctx.queues[op.task_set]
             if not queue.can_push():
-                self.stall_cycles += 1
-                self.ctx.stats.queue_full_stalls += 1
+                self._stall(StallReason.QUEUE)
+                self.ctx.counters.queue_full_stalls.inc()
                 return
             self.input.pop()
             self.ctx.activate(
@@ -416,7 +438,9 @@ class CallStage(Stage):
         ctx = self.ctx
         op: Call = self.op
         # 1) complete one token.
-        if self.in_flight and self.can_send():
+        if self.in_flight and not self.can_send():
+            self._stall(StallReason.BACKPRESSURE)
+        elif self.in_flight:
             for entry in self.in_flight:
                 token, done_at, stream_req = entry
                 if done_at > ctx.cycle:
@@ -453,7 +477,7 @@ class CallStage(Stage):
             )
             self.in_flight.append((token, ctx.cycle + latency, stream_req))
         elif self.input.visible:
-            self.stall_cycles += 1
+            self._stall(StallReason.MEMORY)
 
     def busy(self) -> bool:
         return bool(self.in_flight) or len(self.input) > 0

@@ -4,11 +4,50 @@
 active (neither stall nor idle) primitive operations throughout the
 execution over total number of primitive operations for all pipelines
 instantiated on FPGA." (Section 6.3)
+
+The core event counters live in the metrics registry
+(:class:`~repro.obs.metrics.MetricsRegistry`): components increment
+registered :class:`~repro.obs.metrics.Counter` instruments bound once at
+construction (:class:`SimCounters`), and :class:`SimStats` is re-derived
+from the registry at drain (:meth:`SimStats.sync_from`) so every existing
+consumer keeps reading the same dataclass fields.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+from repro.obs.metrics import Counter, MetricsRegistry
+
+# SimStats fields mirrored by `sim.<name>` counters in the registry.
+REGISTRY_BACKED_FIELDS = (
+    "commits",
+    "squashes",
+    "guard_drops",
+    "tasks_activated",
+    "queue_full_stalls",
+    "events_delivered",
+    "active_stage_cycles",
+)
+
+
+@dataclass
+class SimCounters:
+    """The registry-backed counters the hot path increments directly."""
+
+    commits: Counter
+    squashes: Counter
+    guard_drops: Counter
+    tasks_activated: Counter
+    queue_full_stalls: Counter
+    events_delivered: Counter
+    active_stage_cycles: Counter
+
+    @classmethod
+    def register(cls, registry: MetricsRegistry) -> "SimCounters":
+        return cls(**{
+            f.name: registry.counter(f"sim.{f.name}") for f in fields(cls)
+        })
 
 
 @dataclass
@@ -46,3 +85,32 @@ class SimStats:
 
     def seconds(self, clock_hz: float) -> float:
         return self.cycles / clock_hz
+
+    def sync_from(self, registry: MetricsRegistry) -> "SimStats":
+        """Re-derive the registry-backed fields from ``sim.*`` counters."""
+        for name in REGISTRY_BACKED_FIELDS:
+            setattr(self, name, registry.counter_value(f"sim.{name}"))
+        return self
+
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Aggregate two runs (e.g. multi-run fault campaigns).
+
+        Event counters and cycles sum; the per-stage maps sum per key;
+        ``total_stages`` takes the maximum, so utilization stays
+        meaningful when the merged runs share one datapath shape.
+        """
+        merged = SimStats()
+        for f in fields(SimStats):
+            if f.name in ("per_stage_active", "per_stage_stalls"):
+                continue
+            a, b = getattr(self, f.name), getattr(other, f.name)
+            setattr(
+                merged, f.name,
+                max(a, b) if f.name == "total_stages" else a + b,
+            )
+        for name in ("per_stage_active", "per_stage_stalls"):
+            combined = dict(getattr(self, name))
+            for stage, count in getattr(other, name).items():
+                combined[stage] = combined.get(stage, 0) + count
+            setattr(merged, name, combined)
+        return merged

@@ -28,7 +28,7 @@ class MultiBankTaskQueue:
 
     def __init__(
         self, task_set: str, banks: int = 4, depth_per_bank: int = 1024,
-        pop_policy: str = "fifo", faults=None,
+        pop_policy: str = "fifo", faults=None, obs=None,
     ) -> None:
         if banks < 1 or depth_per_bank < 1:
             raise SimulationError("queue needs positive banks and depth")
@@ -36,6 +36,7 @@ class MultiBankTaskQueue:
             raise SimulationError(f"unknown pop policy {pop_policy!r}")
         self.task_set = task_set
         self.faults = faults
+        self.obs = obs  # Observability hooks (None = zero cost)
         self.banks: list[deque] = [deque() for _ in range(banks)]
         self.depth_per_bank = depth_per_bank
         self.pop_policy = pop_policy
@@ -82,6 +83,8 @@ class MultiBankTaskQueue:
                 self._push_wave = (slot + 1) % len(self.banks)
                 self.pushes += 1
                 self.high_watermark = max(self.high_watermark, len(self))
+                if self.obs is not None:
+                    self.obs.queue_push(self.task_set, len(self))
                 return
         raise SimulationError(f"push into full task queue {self.task_set!r}")
 
@@ -107,6 +110,8 @@ class MultiBankTaskQueue:
             _, _, entry = heapq.heappop(self._heaps[best_slot])
             self.banks[best_slot].pop()
             self.pops += 1
+            if self.obs is not None:
+                self.obs.queue_pop(self.task_set, len(self))
             return entry
         for offset in range(len(self.banks)):
             slot = (self._pop_wave + offset) % len(self.banks)
@@ -117,7 +122,10 @@ class MultiBankTaskQueue:
             if bank:
                 self._pop_wave = (slot + 1) % len(self.banks)
                 self.pops += 1
-                return bank.popleft()
+                entry = bank.popleft()
+                if self.obs is not None:
+                    self.obs.queue_pop(self.task_set, len(self))
+                return entry
         return None
 
     def peek_min_index(self) -> TaskIndex | None:

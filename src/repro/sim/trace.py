@@ -26,6 +26,23 @@ class ScheduleTracer:
         self.activity[stage_name].add(cycle)
         self.last_cycle = max(self.last_cycle, cycle)
 
+    @classmethod
+    def from_events(cls, events, max_cycles: int | None = None
+                    ) -> "ScheduleTracer":
+        """Build a tracer from a structured event stream.
+
+        Consumes :class:`~repro.obs.events.TraceEvent` records (any
+        iterable), keeping only stage-fire events — the schedule diagram
+        needs exactly the activity pairs ``record`` would have seen.
+        """
+        from repro.obs.events import TraceEventKind
+
+        tracer = cls() if max_cycles is None else cls(max_cycles=max_cycles)
+        for event in events:
+            if event.kind is TraceEventKind.STAGE_FIRE:
+                tracer.record(event.cycle, event.name)
+        return tracer
+
     # -- analysis ------------------------------------------------------------
 
     def active_window(self, stage_name: str) -> tuple[int, int] | None:
@@ -61,7 +78,9 @@ class ScheduleTracer:
                  ) -> str:
         """ASCII schedule diagram: rows = stages, columns = time buckets."""
         names = stages or sorted(self.activity)
-        if not names or self.last_cycle == 0:
+        # Emptiness must be judged by recorded activity, not last_cycle:
+        # a run whose only activity lands on cycle 0 still has a schedule.
+        if not names or not any(self.activity.get(n) for n in names):
             return "(no activity recorded)"
         span = self.last_cycle + 1
         bucket = max(1, -(-span // width))

@@ -1,0 +1,155 @@
+"""Tests for the Chrome trace export and the observability CLI surface."""
+
+import json
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.cli import main
+from repro.eval.platforms import HARP
+from repro.obs import EventTracer, Observability, StallReason, TraceEventKind
+from repro.sim.accelerator import AcceleratorSim
+from repro.substrates.graphs import random_graph
+
+GRAPH = random_graph(200, 600, seed=7)
+
+
+def _spec():
+    return build_app("SPEC-BFS", GRAPH, 0)
+
+
+def _observed_run(capacity=1 << 20):
+    obs = Observability(trace_capacity=capacity)
+    result = AcceleratorSim(_spec(), platform=HARP, obs=obs).run()
+    return obs, result
+
+
+# -- trace document schema ----------------------------------------------------
+
+
+class TestChromeTraceSchema:
+    def test_unit_export_covers_every_phase(self):
+        tracer = EventTracer(capacity=64)
+        tracer.emit(0, TraceEventKind.STAGE_FIRE, "s.alu")
+        tracer.emit(1, TraceEventKind.STAGE_STALL, "s.alu",
+                    reason=StallReason.MEMORY)
+        tracer.emit(1, TraceEventKind.TOKEN_ENQ, "bfs",
+                    data={"occupancy": 3})
+        tracer.emit(2, TraceEventKind.RULE_PROMISE, "visit",
+                    data={"occupancy": 1})
+        tracer.emit(2, TraceEventKind.MEM_MISS, "load",
+                    data={"addr": 64, "latency": 40})
+        tracer.emit(3, TraceEventKind.CHECKPOINT, "checkpoint",
+                    data={"count": 1})
+        doc = tracer.chrome_trace()
+        events = doc["traceEvents"]
+        phases = {e["ph"] for e in events}
+        assert phases == {"M", "X", "C", "i"}
+        assert all("ph" in e and "pid" in e for e in events)
+        assert all("ts" in e for e in events if e["ph"] != "M")
+        slices = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in slices} == {"active", "stall:memory"}
+        assert all(e["dur"] == 1 for e in slices)
+        # Both slices share the per-stage thread track.
+        assert len({e["tid"] for e in slices}) == 1
+        names = [e["args"]["name"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"]
+        assert "pipelines" in names and "checkpoint/rollback" in names
+
+    def test_full_run_round_trips_through_json(self, tmp_path):
+        obs, result = _observed_run()
+        path = tmp_path / "trace.json"
+        obs.tracer.write_chrome_trace(path)
+        loaded = json.loads(path.read_text(encoding="utf-8"))
+        assert loaded == obs.tracer.chrome_trace()
+        assert loaded["otherData"]["emitted"] == obs.tracer.emitted
+        assert loaded["otherData"]["evicted"] == 0
+        timestamps = [e["ts"] for e in loaded["traceEvents"]
+                      if e["ph"] != "M"]
+        assert timestamps and 0 <= min(timestamps)
+        assert max(timestamps) < result.cycles
+
+    def test_ring_bounds_trace_size(self):
+        obs, _ = _observed_run(capacity=256)
+        assert obs.tracer.evicted > 0
+        doc = obs.tracer.chrome_trace()
+        data_events = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert len(data_events) == 256
+        assert doc["otherData"]["evicted"] == obs.tracer.evicted
+
+
+class TestDeterminism:
+    def test_two_seeded_runs_emit_byte_identical_traces(self):
+        first_obs, first = _observed_run()
+        second_obs, second = _observed_run()
+        assert first.cycles == second.cycles
+        blob_a = json.dumps(first_obs.tracer.chrome_trace(), sort_keys=False)
+        blob_b = json.dumps(second_obs.tracer.chrome_trace(), sort_keys=False)
+        assert blob_a == blob_b
+        assert first_obs.registry.snapshot() == second_obs.registry.snapshot()
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestObservabilityCli:
+    def test_profile_command(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        rc = main([
+            "profile", "SPEC-CC", "--top", "4",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED" in out
+        assert "stall attribution over" in out
+        assert "each row sums to total" in out
+        doc = json.loads(trace.read_text(encoding="utf-8"))
+        assert all("ph" in e and "pid" in e for e in doc["traceEvents"])
+        snap = json.loads(metrics.read_text(encoding="utf-8"))
+        assert snap["counters"]["sim.commits"] > 0
+        assert "mem.load_latency" in snap["histograms"]
+
+    def test_profile_rows_sum_to_total(self, capsys):
+        assert main(["profile", "SPEC-CC", "--top", "5"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        header_idx = next(i for i, line in enumerate(lines)
+                          if line.startswith("stall attribution over"))
+        total_cycles = int(lines[header_idx].split()[3])
+        rows = [line for line in lines[header_idx + 2:]
+                if line and not line.startswith("...")]
+        assert rows
+        for row in rows:
+            cells = row.split()
+            assert int(cells[-1]) == total_cycles
+            assert sum(int(c) for c in cells[1:-1]) == total_cycles
+
+    def test_simulate_trace_out(self, tmp_path, capsys):
+        trace = tmp_path / "sim-trace.json"
+        metrics = tmp_path / "sim-metrics.json"
+        rc = main([
+            "simulate", "SPEC-CC",
+            "--trace-out", str(trace), "--metrics-out", str(metrics),
+        ])
+        assert rc == 0
+        assert "VERIFIED" in capsys.readouterr().out
+        doc = json.loads(trace.read_text(encoding="utf-8"))
+        assert doc["traceEvents"]
+        assert json.loads(metrics.read_text(encoding="utf-8"))["counters"]
+
+    def test_fault_campaign_metrics_out(self, tmp_path, capsys):
+        out_path = tmp_path / "campaign.json"
+        rc = main([
+            "fault-campaign", "--apps", "SPEC-BFS", "--trials", "1",
+            "--seed", "7", "--metrics-out", str(out_path),
+        ])
+        assert rc == 0
+        assert "VERIFIED" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text(encoding="utf-8"))
+        assert payload["seed"] == 7
+        assert len(payload["runs"]) == 1
+        run = payload["runs"][0]
+        assert run["app"] == "SPEC-BFS"
+        assert run["metrics"]["counters"]["sim.commits"] > 0
+        assert payload["aggregate"]["cycles"] == run["cycles"]
