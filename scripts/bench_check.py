@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Gate a ``bench_smoke.py`` result against the committed baseline.
+
+Two checks, in increasing softness:
+
+* **cycle counts** — fully deterministic, must match the baseline
+  *exactly* (any drift is a behaviour change; if intentional, re-run
+  ``scripts/bench_smoke.py --fast`` and commit the new baseline);
+* **fast-forward speedup** — the fast/dense cycles-per-second ratio is
+  machine-normalized (both runs execute on the same host, so hardware
+  speed cancels), and must not regress more than ``--tolerance``
+  (default 20%) below the baseline's ratio for any app/profile.
+
+Usage::
+
+    python scripts/bench_smoke.py --fast --output BENCH_sim.json
+    python scripts/bench_check.py BENCH_sim.json BENCH_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _load(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="freshly produced BENCH_sim.json")
+    parser.add_argument("baseline", help="committed BENCH_baseline.json")
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional speedup regression (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    current, baseline = _load(args.current), _load(args.baseline)
+    failures: list[str] = []
+
+    for app, base_row in sorted(baseline.get("runs", {}).items()):
+        row = current.get("runs", {}).get(app)
+        if row is None:
+            failures.append(f"runs[{app}]: missing from current result")
+        elif row["cycles"] != base_row["cycles"]:
+            failures.append(
+                f"runs[{app}]: cycle count drifted "
+                f"{row['cycles']} != {base_row['cycles']} (baseline)"
+            )
+
+    for profile, base_apps in sorted(
+        baseline.get("fast_forward", {}).items()
+    ):
+        cur_apps = current.get("fast_forward", {}).get(profile, {})
+        for app, base_row in sorted(base_apps.items()):
+            row = cur_apps.get(app)
+            where = f"fast_forward[{profile}][{app}]"
+            if row is None:
+                failures.append(f"{where}: missing from current result")
+                continue
+            if row["cycles"] != base_row["cycles"]:
+                failures.append(
+                    f"{where}: cycle count drifted "
+                    f"{row['cycles']} != {base_row['cycles']} (baseline)"
+                )
+            floor = base_row["speedup"] * (1.0 - args.tolerance)
+            if row["speedup"] < floor:
+                failures.append(
+                    f"{where}: fast-forward speedup regressed to "
+                    f"{row['speedup']:.2f}x "
+                    f"(baseline {base_row['speedup']:.2f}x, "
+                    f"floor {floor:.2f}x)"
+                )
+            else:
+                print(f"{where}: {row['speedup']:.2f}x "
+                      f"(baseline {base_row['speedup']:.2f}x, "
+                      f"floor {floor:.2f}x) — OK")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL {failure}", file=sys.stderr)
+        return 1
+    print("benchmark check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

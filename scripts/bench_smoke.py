@@ -1,10 +1,21 @@
 #!/usr/bin/env python
-"""Benchmark smoke run: fixed-seed BFS/SSSP cycles plus wall time.
+"""Benchmark smoke run: fixed-seed BFS/SSSP cycles plus simulator speed.
 
 Writes ``BENCH_sim.json`` (or ``--output``) with, per app, the simulated
-cycle count (deterministic — a regression gate) and the host wall-clock
-seconds of the simulation loop (informational — flags gross slowdowns of
-the simulator itself).  Exits non-zero if any run fails to verify.
+cycle count (deterministic — a regression gate), the host wall-clock
+seconds of the simulation loop, and the simulation rate in simulated
+cycles per wall second (informational on its own — wall time depends on
+the machine).
+
+With ``--fast`` each app is additionally run twice — dense and with the
+idle-cycle-skipping fast-forward core — on two platform profiles
+(``baseline`` = HARP, ``memory-bound`` = EVAL_HARP at 5% bandwidth,
+where QPI misses dominate and skipping pays).  The two runs must finish
+at the *same* cycle (the core is cycle-exact; mismatch exits non-zero),
+and the recorded ``speedup`` — the fast/dense cycles-per-second ratio —
+is machine-normalized, so ``scripts/bench_check.py`` can gate on it
+across heterogeneous CI hosts.  Exits non-zero if any run fails to
+verify.
 """
 
 from __future__ import annotations
@@ -17,13 +28,21 @@ import time
 sys.path.insert(0, "src")
 
 from repro.apps.registry import build_app                    # noqa: E402
-from repro.eval.platforms import HARP                        # noqa: E402
-from repro.sim.accelerator import AcceleratorSim             # noqa: E402
+from repro.eval.platforms import EVAL_HARP, HARP             # noqa: E402
+from repro.sim.accelerator import AcceleratorSim, SimConfig  # noqa: E402
 from repro.substrates.graphs.generators import random_graph  # noqa: E402
 
 APPS = ("SPEC-BFS", "SPEC-SSSP")
 SEED = 7
 NODES, EDGES = 300, 900
+
+# The fast-forward comparison profiles: the stock platform, and a
+# bandwidth-starved one where the accelerator spends most cycles waiting
+# on the QPI channel — the regime the fast core exists for.
+PROFILES = {
+    "baseline": HARP,
+    "memory-bound": EVAL_HARP.scaled(0.05),
+}
 
 
 def build_spec(app: str):
@@ -32,31 +51,76 @@ def build_spec(app: str):
         else build_app(app, graph)
 
 
+def run_once(app: str, platform, *, fast: bool) -> dict:
+    sim = AcceleratorSim(
+        build_spec(app), platform=platform,
+        config=SimConfig(fast_forward=fast),
+    )
+    started = time.perf_counter()
+    result = sim.run()
+    wall = time.perf_counter() - started
+    return {
+        "cycles": result.cycles,
+        "commits": result.stats.commits,
+        "utilization": round(result.utilization, 6),
+        "wall_seconds": round(wall, 3),
+        "cycles_per_sec": round(result.cycles / wall) if wall > 0 else 0,
+        "ff_jumps": result.ff_jumps,
+        "ff_cycles_skipped": result.ff_cycles_skipped,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_sim.json")
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="also compare dense vs fast-forward runs per profile",
+    )
     args = parser.parse_args(argv)
 
     runs = {}
     for app in APPS:
-        spec = build_spec(app)
-        sim = AcceleratorSim(spec, platform=HARP)
-        started = time.perf_counter()
-        result = sim.run()
-        wall = time.perf_counter() - started
-        runs[app] = {
-            "cycles": result.cycles,
-            "commits": result.stats.commits,
-            "utilization": round(result.utilization, 6),
-            "wall_seconds": round(wall, 3),
-        }
-        print(f"{app}: {result.cycles} cycles in {wall:.2f}s wall — VERIFIED")
+        row = run_once(app, HARP, fast=False)
+        del row["ff_jumps"], row["ff_cycles_skipped"]
+        runs[app] = row
+        print(f"{app}: {row['cycles']} cycles in {row['wall_seconds']:.2f}s "
+              f"wall ({row['cycles_per_sec']} cyc/s) — VERIFIED")
 
     payload = {
         "seed": SEED,
         "graph": {"nodes": NODES, "edges": EDGES},
         "runs": runs,
     }
+
+    if args.fast:
+        fast_forward: dict = {}
+        for profile, platform in PROFILES.items():
+            fast_forward[profile] = {}
+            for app in APPS:
+                dense = run_once(app, platform, fast=False)
+                fast = run_once(app, platform, fast=True)
+                if fast["cycles"] != dense["cycles"]:
+                    print(f"FAIL {app} [{profile}]: fast-forward diverged "
+                          f"({fast['cycles']} != {dense['cycles']} cycles)",
+                          file=sys.stderr)
+                    return 1
+                speedup = (fast["cycles_per_sec"] / dense["cycles_per_sec"]
+                           if dense["cycles_per_sec"] else 0.0)
+                fast_forward[profile][app] = {
+                    "cycles": dense["cycles"],
+                    "dense": dense,
+                    "fast": fast,
+                    "speedup": round(speedup, 3),
+                }
+                print(f"{app} [{profile}]: {dense['cycles']} cycles, "
+                      f"dense {dense['wall_seconds']:.2f}s vs "
+                      f"fast {fast['wall_seconds']:.2f}s "
+                      f"({speedup:.2f}x, {fast['ff_jumps']} jumps, "
+                      f"{fast['ff_cycles_skipped']} cycles skipped) "
+                      f"— CYCLE-EXACT")
+        payload["fast_forward"] = fast_forward
+
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

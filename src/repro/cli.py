@@ -134,7 +134,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         else None
     obs = Observability() if (args.trace_out or args.metrics_out) else None
     platform = EVAL_HARP.scaled(args.bandwidth)
-    config = SimConfig(prefetch=args.prefetch)
+    config = SimConfig(prefetch=args.prefetch, fast_forward=args.fast)
     check_interval = (
         args.check_interval
         if args.check_interval is not None
@@ -178,6 +178,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
           f"squash {result.squash_fraction * 100:.1f}%, "
           f"cache hit {result.memory_hit_rate * 100:.0f}%, "
           f"{result.memory_bytes} bytes over QPI — VERIFIED")
+    if args.fast:
+        print(f"fast-forward: {result.ff_jumps} jumps skipped "
+              f"{result.ff_cycles_skipped} idle cycles "
+              f"({result.ff_cycles_skipped / max(1, result.cycles) * 100:.1f}%"
+              " of total)")
     if tracer is not None:
         print()
         print(tracer.timeline(width=args.trace_width))
@@ -206,7 +211,8 @@ def cmd_profile(args: argparse.Namespace) -> int:
     obs = Observability(trace_capacity=args.trace_capacity)
     platform = EVAL_HARP.scaled(args.bandwidth)
     sim = AcceleratorSim(
-        spec, platform=platform, config=SimConfig(), obs=obs,
+        spec, platform=platform,
+        config=SimConfig(fast_forward=args.fast), obs=obs,
     )
     result = sim.run()
     stage_names = [
@@ -387,6 +393,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="QPI bandwidth multiplier (Figure 10 knob)")
     simulate.add_argument("--prefetch", action="store_true",
                           help="enable next-line prefetch (extension)")
+    simulate.add_argument("--fast", action="store_true",
+                          help="idle-cycle-skipping fast-forward core "
+                               "(cycle-exact; see docs/simulator.md)")
     simulate.add_argument("--trace", action="store_true",
                           help="print an ASCII schedule timeline")
     simulate.add_argument("--trace-cycles", type=int, default=2000)
@@ -417,6 +426,9 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("app")
     profile.add_argument("--bandwidth", type=float, default=1.0,
                          help="QPI bandwidth multiplier (Figure 10 knob)")
+    profile.add_argument("--fast", action="store_true",
+                         help="idle-cycle-skipping fast-forward core "
+                              "(identical accounting, less wall clock)")
     profile.add_argument("--top", type=int, default=16,
                          help="rows to print (most-stalled first)")
     profile.add_argument("--trace-capacity", type=int, default=65536,

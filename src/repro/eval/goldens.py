@@ -1,0 +1,61 @@
+"""Golden-fixture scenarios: canonical fixed-seed runs for regression.
+
+One golden is a fully deterministic observed run of one application —
+fixed graph seed, fixed platform, default :class:`SimConfig` — reduced
+to a canonical JSON-ready dict: the final cycle count, the full
+:func:`~repro.sim.stats.stats_digest`, and the trace profile (event
+counts per :class:`~repro.obs.events.TraceEventKind`, excluding the
+per-cycle ``STAGE_STALL`` events the fast-forward core deliberately
+elides, so one fixture pins both the dense and the fast execution).
+
+``scripts/update_goldens.py`` regenerates the fixtures under
+``tests/golden/`` from these scenarios after an *intentional* behaviour
+change; ``tests/sim/test_goldens.py`` fails on any drift.
+"""
+
+from __future__ import annotations
+
+from repro.apps.registry import build_app
+from repro.eval.platforms import EVAL_HARP, HARP
+from repro.obs import Observability, TraceEventKind
+from repro.sim.accelerator import AcceleratorSim, SimConfig
+from repro.sim.stats import stats_digest
+from repro.substrates.graphs import random_graph
+
+_PLATFORMS = {"HARP": HARP, "EVAL_HARP": EVAL_HARP}
+
+# name -> (app, nodes, edges, graph seed, platform key, bandwidth scale)
+SCENARIOS = {
+    "bfs": ("SPEC-BFS", 120, 360, 3, "EVAL_HARP", 0.25),
+    "sssp": ("SPEC-SSSP", 120, 360, 3, "EVAL_HARP", 0.25),
+}
+
+
+def collect(name: str, *, fast: bool = False) -> dict:
+    """Run one golden scenario and return its canonical dict."""
+    app, nodes, edges, seed, platform_key, scale = SCENARIOS[name]
+    spec = build_app(app, random_graph(nodes, edges, seed=seed))
+    obs = Observability(trace_capacity=1 << 20)
+    sim = AcceleratorSim(
+        spec,
+        platform=_PLATFORMS[platform_key].scaled(scale),
+        config=SimConfig(fast_forward=fast),
+        obs=obs,
+    )
+    result = sim.run()
+    assert obs.tracer.evicted == 0, "golden trace_capacity too small"
+    trace: dict[str, int] = {}
+    for event in obs.tracer.events():
+        if event.kind is TraceEventKind.STAGE_STALL:
+            continue
+        trace[event.kind.value] = trace.get(event.kind.value, 0) + 1
+    return {
+        "scenario": name,
+        "app": app,
+        "graph": {"nodes": nodes, "edges": edges, "seed": seed},
+        "platform": platform_key,
+        "bandwidth_scale": scale,
+        "cycles": result.cycles,
+        "stats": stats_digest(result.stats),
+        "trace": {kind: trace[kind] for kind in sorted(trace)},
+    }

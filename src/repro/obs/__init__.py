@@ -55,6 +55,13 @@ class Observability:
         self.tracer.emit(cycle, TraceEventKind.STAGE_STALL, stage,
                          reason=reason)
 
+    def credit_skipped_stalls(self, stage: str, reason: StallReason,
+                              count: int) -> None:
+        """Fast-forward skip: fold ``count`` repeated stall cycles into
+        the profiler's accounting without emitting per-cycle trace events
+        (the one place fast and dense traces deliberately differ)."""
+        self.profiler.credit(stage, reason, count)
+
     # -- task queues -----------------------------------------------------------
 
     def queue_push(self, task_set: str, occupancy: int) -> None:

@@ -69,6 +69,28 @@ class StallProfiler:
             row = self._committed[stage] = [0] * len(COLUMNS)
         row[column] += 1
 
+    # -- fast-forward crediting ------------------------------------------------
+
+    def credit(self, stage: str, reason: StallReason, count: int) -> None:
+        """Account ``count`` skipped cycles that repeat the open stall.
+
+        The fast-forward core skips cycles only when the machine is
+        stationary, so each skipped cycle would have re-recorded the
+        probe cycle's (already open) stall cell.  Dense equivalent:
+        ``count`` repeats commit the open cell plus ``count - 1`` copies
+        and leave the last repeat open — i.e. the committed row grows by
+        ``count`` and the open cell slides forward by ``count`` cycles.
+        """
+        if count <= 0:
+            return
+        row = self._committed.get(stage)
+        if row is None:
+            row = self._committed[stage] = [0] * len(COLUMNS)
+        row[_REASON_INDEX[reason]] += count
+        open_cell = self._open.get(stage)
+        if open_cell is not None:
+            self._open[stage] = (open_cell[0] + count, open_cell[1])
+
     # -- reporting ------------------------------------------------------------
 
     def accounting(

@@ -24,6 +24,7 @@ from repro.errors import (
 )
 from repro.eval.platforms import HARP, HarpPlatform
 from repro.obs import MetricsRegistry, Observability
+from repro.sim.fastpath import FastForwardScheduler
 from repro.sim.faults import FaultPlan
 from repro.sim.host import HostAdapter
 from repro.sim.invariants import DEFAULT_CHECK_INTERVAL, InvariantChecker
@@ -31,6 +32,7 @@ from repro.sim.live import LiveIndexTracker
 from repro.sim.memory import MemorySystem
 from repro.sim.pipeline import PipelineInstance
 from repro.sim.rule_engine import RuleEngineSim
+from repro.sim.stages import CallStage
 from repro.sim.stats import SimCounters, SimStats
 from repro.sim.taskqueue import MultiBankTaskQueue
 from repro.sim.token import SimToken
@@ -55,6 +57,9 @@ class SimConfig:
     minimum_broadcast_interval: int = 4
     max_cycles: int = 30_000_000
     deadlock_window: int = 200_000
+    # Idle-cycle-skipping fast-forward core (cycle-exact; see
+    # docs/simulator.md and sim/fastpath.py for the legality argument).
+    fast_forward: bool = False
 
     def __post_init__(self) -> None:
         for name in (
@@ -90,6 +95,10 @@ class SimResult:
     # original instance).
     metrics: MetricsRegistry | None = None
     obs: Observability | None = None
+    # Fast-forward telemetry (zero for dense runs).  Deliberately kept
+    # out of SimStats so dense and fast statistics stay bit-identical.
+    ff_jumps: int = 0
+    ff_cycles_skipped: int = 0
 
 
 class AcceleratorSim:
@@ -181,6 +190,20 @@ class AcceleratorSim:
         self._event_heap: list[tuple[int, int, Event, int]] = []
         self._event_seq = 0
         self._last_progress_cycle = 0
+        # Precomputed topology: the cycle loop walks these flat lists
+        # instead of chasing pipeline/dict indirections every cycle.
+        self._stages = [s for p in self.pipelines for s in p.stages]
+        self._fifos = [s.input for s in self._stages]
+        self._timed_stages = [
+            s for s in self._stages if isinstance(s, CallStage)
+        ]
+        self._engine_list = list(self.engines.values())
+        # Fast-forward: `quiet` is cleared by every state-mutating action
+        # inside a cycle; a cycle that ends quiet is provably a repeat.
+        self.quiet = True
+        self.ff = (
+            FastForwardScheduler(self) if config.fast_forward else None
+        )
 
     # -- services stages call ---------------------------------------------------
 
@@ -189,6 +212,7 @@ class AcceleratorSim:
         parent: TaskIndex | None,
     ) -> None:
         """Mint an index, register liveness, enqueue, broadcast ACTIVATE."""
+        self.quiet = False
         index = self.minter.mint(task_set, fields, parent)
         handle = self.tracker.register(index)
         self.queues[task_set].push(index, fields, handle)
@@ -223,10 +247,13 @@ class AcceleratorSim:
     # -- cycle loop ------------------------------------------------------------
 
     def _deliver_events(self) -> None:
-        while self._event_heap and self._event_heap[0][0] <= self.cycle:
-            _, _, event, source_uid = heapq.heappop(self._event_heap)
+        heap = self._event_heap
+        engines = self._engine_list
+        while heap and heap[0][0] <= self.cycle:
+            _, _, event, source_uid = heapq.heappop(heap)
             self.counters.events_delivered.inc()
-            for engine in self.engines.values():
+            self.quiet = False
+            for engine in engines:
                 engine.deliver(event, source_uid)
 
     def _work_remaining(self) -> bool:
@@ -253,48 +280,86 @@ class AcceleratorSim:
         if self.checker is not None:
             self.checker.maybe_check()
         self.active_stages_this_cycle = 0
-        self._deliver_events()
+        self.quiet = True
+        if self.ff is not None:
+            self.ff.cycle_stalls.clear()
+        if self._event_heap:
+            self._deliver_events()
         self.host.tick()
-        for pipeline in self.pipelines:
-            pipeline.tick()
+        for stage in self._stages:
+            stage.tick()
         if self.cycle % self.config.minimum_broadcast_interval == 0:
             if self.spec.otherwise_scope == "global":
                 minimum = self.tracker.minimum()
-                for engine in self.engines.values():
-                    engine.broadcast_minimum(minimum)
+                for engine in self._engine_list:
+                    if engine.broadcast_minimum(minimum):
+                        self.quiet = False
             else:
                 # Lane scope (Figure 8): each engine broadcasts the minimum
                 # parent index over its own allocated lanes.
-                for engine in self.engines.values():
-                    engine.broadcast_minimum(engine.min_allocated_index())
-        for pipeline in self.pipelines:
-            pipeline.commit_fifos()
+                for engine in self._engine_list:
+                    if engine.broadcast_minimum(
+                        engine.min_allocated_index()
+                    ):
+                        self.quiet = False
+        for fifo in self._fifos:
+            fifo.commit()
         self.counters.active_stage_cycles.inc(self.active_stages_this_cycle)
         if self.active_stages_this_cycle or self.memory.pending(self.cycle):
             self._last_progress_cycle = self.cycle
         self.cycle += 1
         self.stats.cycles = self.cycle
 
+    def _check_limits(self) -> None:
+        """Runaway and deadlock guards, shared by both run loops.
+
+        The fast loop calls this after a skip as well, so both errors
+        raise at exactly the cycle a dense run would raise them at.
+        """
+        if self.cycle >= self.config.max_cycles:
+            raise SimulationError(
+                f"{self.spec.name}: exceeded {self.config.max_cycles} "
+                "cycles"
+            )
+        if (
+            self.cycle - self._last_progress_cycle
+            > self.config.deadlock_window
+        ):
+            report = []
+            for pipeline in self.pipelines:
+                report.extend(pipeline.stuck_report())
+            raise DeadlockError(self.cycle, "; ".join(report[:8]))
+
+    def _run_fast(self) -> None:
+        """The fast-forward loop: dense probe cycles, idle spans skipped.
+
+        Every executed cycle is a full dense :meth:`step`; when one ends
+        quiet (no stage fired, no silent mutation, no event delivered, no
+        otherwise triggered), the machine is stationary and the clock
+        jumps to the scheduler's earliest wake-up, crediting the skipped
+        repeats of the probe cycle's stalls along the way.
+        """
+        ff = self.ff
+        while self._work_remaining():
+            self.step()
+            self._check_limits()
+            if self.quiet and self.active_stages_this_cycle == 0:
+                target = ff.jump_target()
+                if target > self.cycle:
+                    ff.skip_to(target)
+                    self._check_limits()
+
     def run(self, verify: bool = True) -> SimResult:
         """Clock the accelerator until all work drains; verify the answer."""
         if not self._started:
             self.host.start()
             self._started = True
-        while self._work_remaining():
-            self.step()
-            if self.cycle >= self.config.max_cycles:
-                raise SimulationError(
-                    f"{self.spec.name}: exceeded {self.config.max_cycles} "
-                    "cycles"
-                )
-            if (
-                self.cycle - self._last_progress_cycle
-                > self.config.deadlock_window
-            ):
-                report = []
-                for pipeline in self.pipelines:
-                    report.extend(pipeline.stuck_report())
-                raise DeadlockError(self.cycle, "; ".join(report[:8]))
+        if self.ff is not None:
+            self._run_fast()
+        else:
+            while self._work_remaining():
+                self.step()
+                self._check_limits()
         self.stats.sync_from(self.metrics)
         for pipeline in self.pipelines:
             for stage in pipeline.stages:
@@ -329,6 +394,10 @@ class AcceleratorSim:
             bandwidth_scale=self.platform.bandwidth_scale,
             metrics=self.metrics,
             obs=self.obs,
+            ff_jumps=self.ff.jumps if self.ff is not None else 0,
+            ff_cycles_skipped=(
+                self.ff.cycles_skipped if self.ff is not None else 0
+            ),
         )
 
 

@@ -111,6 +111,11 @@ class CheckpointManager:
         if self.sim.cycle >= self._next_capture:
             self.capture()
 
+    def next_event_cycle(self, now: int) -> int:
+        """Next scheduled capture — a fast-forward wake-up, so snapshots
+        land on exactly the same cycles as a dense run."""
+        return max(self._next_capture, now + 1)
+
     def capture(self) -> Checkpoint:
         checkpoint = Checkpoint(self.sim.cycle, snapshot(self.sim))
         self.checkpoints.append(checkpoint)

@@ -1,0 +1,175 @@
+"""Event-driven fast-forward scheduling for the cycle simulator.
+
+The dense core advances every stage, queue bank, rule lane, and memory
+channel on every cycle, even when the whole accelerator is quiescent
+waiting on a 200 ns QPI miss — exactly the irregular-latency pattern the
+paper's memory subsystem (Figure 7, Choi et al. timing constants)
+produces.  The fast-forward core skips those idle cycles: every
+component reports a ``next_event_cycle(now)`` — the earliest future
+cycle at which it could possibly act — and, when a whole cycle passes in
+which *nothing* made progress, the scheduler jumps the clock directly to
+the earliest reported wake-up instead of ticking through the idle gap.
+
+Cycle-exactness argument (see docs/simulator.md for the full version):
+
+* A cycle with no progress (no stage fired, no silent station/queue/host
+  mutation, no event delivered, no otherwise triggered) leaves the
+  machine state *stationary*: every stage's decision next cycle depends
+  only on that unchanged state plus the clock.
+* The only clock-driven state changes are enumerated as wake-up sources:
+  memory-request completions, function-unit timers, event-heap delivery
+  times, the minimum-broadcast interval (only when a broadcast would
+  actually trigger an otherwise), fault-plan window boundaries,
+  checkpoint captures, and invariant-checker passes.
+* Therefore every skipped cycle would have been an exact repeat of the
+  probe cycle just executed — so its *accounting* effects (per-stage
+  stall cycles, queue-full counters, rule-engine allocation stalls, the
+  stall-attribution profiler's cells) are replayed in bulk, multiplied
+  by the number of skipped cycles, and per-stage accounting still sums
+  exactly to the total cycle count.
+
+The scheduler object lives inside the simulator's checkpointed object
+graph, so rollback restores its bookkeeping along with the rest of the
+machine and replayed cycles are never double-counted.
+"""
+
+from __future__ import annotations
+
+# Sentinel for "no wake-up scheduled" — far beyond any max_cycles.
+NEVER = 1 << 62
+
+
+class FastForwardScheduler:
+    """Wake-up aggregation plus skip crediting for one simulator.
+
+    Attached by :class:`~repro.sim.accelerator.AcceleratorSim` when
+    ``SimConfig.fast_forward`` is set.  ``cycle_stalls`` collects the
+    ``(stage, reason)`` stall records of the cycle being executed; when
+    that cycle turns out to be quiescent, those records describe exactly
+    what every skipped cycle would have recorded.
+    """
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self.jumps = 0
+        self.cycles_skipped = 0
+        # Stall records of the current (probe) cycle: (stage, reason).
+        self.cycle_stalls: list = []
+        # Optional jump journal for tests: (from_cycle, to_cycle, wake).
+        self.log: list[tuple[int, int, int]] | None = None
+
+    # -- wake-up aggregation ---------------------------------------------------
+
+    def next_wakeup(self, now: int) -> int:
+        """Earliest cycle > ``now`` at which any component could act."""
+        sim = self.sim
+        wake = NEVER
+        heap = sim._event_heap
+        if heap:
+            when = heap[0][0]
+            if when < wake:
+                wake = when
+        when = sim.memory.next_event_cycle(now)
+        if when < wake:
+            wake = when
+        for stage in sim._timed_stages:
+            when = stage.next_event_cycle(now)
+            if when < wake:
+                wake = when
+        when = sim.host.next_event_cycle(now)
+        if when < wake:
+            wake = when
+        when = self._next_broadcast_cycle(now)
+        if when < wake:
+            wake = when
+        if sim.faults is not None:
+            when = sim.faults.next_event_cycle(now)
+            if when < wake:
+                wake = when
+        if sim.checkpoints is not None:
+            when = sim.checkpoints.next_event_cycle(now)
+            if when < wake:
+                wake = when
+        if sim.checker is not None:
+            when = sim.checker.next_check_cycle(now)
+            if when < wake:
+                wake = when
+        return wake
+
+    def _next_broadcast_cycle(self, now: int) -> int:
+        """Next minimum-broadcast boundary, if broadcasting would matter.
+
+        A broadcast only changes state when some awaited, undecided rule
+        lane's parent ties the (stationary) minimum; when no lane would
+        trigger, every boundary inside the skipped span is a no-op and
+        needs no wake-up.
+        """
+        sim = self.sim
+        if sim.spec.otherwise_scope == "global":
+            minimum = sim.tracker.minimum()
+            fire = any(
+                engine.would_fire_otherwise(minimum)
+                for engine in sim._engine_list
+            )
+        else:
+            fire = any(
+                engine.would_fire_otherwise(engine.min_allocated_index())
+                for engine in sim._engine_list
+            )
+        if not fire:
+            return NEVER
+        interval = sim.config.minimum_broadcast_interval
+        return ((now // interval) + 1) * interval
+
+    # -- the jump --------------------------------------------------------------
+
+    def jump_target(self) -> int:
+        """Where to move the clock after a quiescent cycle.
+
+        Clamped so the run loop's limit checks (max_cycles, the deadlock
+        window) fire at exactly the same cycle they would in dense mode.
+        """
+        sim = self.sim
+        wake = self.next_wakeup(sim.cycle - 1)
+        cap = min(
+            sim.config.max_cycles,
+            sim._last_progress_cycle + sim.config.deadlock_window + 1,
+        )
+        target = min(max(wake, sim.cycle), cap)
+        if self.log is not None and target > sim.cycle:
+            self.log.append((sim.cycle, target, wake))
+        return target
+
+    def skip_to(self, target: int) -> None:
+        """Jump the clock to ``target``, crediting the skipped cycles.
+
+        Every skipped cycle is an exact repeat of the probe cycle, so
+        its stall records are replayed ``skipped`` times: per-stage stall
+        counters, the stage-specific side counters (queue-full, rule
+        allocation stalls), and — when observability is attached — the
+        stall-attribution profiler, which keeps per-stage rows summing
+        exactly to the total cycle count.
+        """
+        sim = self.sim
+        skipped = target - sim.cycle
+        if skipped <= 0:
+            return
+        obs = sim.obs
+        credited: set[str] = set()
+        for stage, reason in self.cycle_stalls:
+            stage.credit_skipped_stalls(reason, skipped)
+            if obs is not None and stage.name not in credited:
+                # The profiler charges one cell per stage per cycle with
+                # the first recorded reason winning — mirror that here.
+                credited.add(stage.name)
+                obs.credit_skipped_stalls(stage.name, reason, skipped)
+        # Dense mode refreshes the progress watermark on every cycle
+        # with an outstanding memory completion still in the future.
+        latest = sim.memory.latest_completion()
+        watermark = min(target - 1, latest - 1)
+        if watermark > sim._last_progress_cycle:
+            sim._last_progress_cycle = watermark
+        self.jumps += 1
+        self.cycles_skipped += skipped
+        sim.cycle = target
+        sim.stats.cycles = target

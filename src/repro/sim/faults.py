@@ -162,6 +162,11 @@ class FaultPlan:
             event.fired_at = cycle
             self.log.append(f"cycle {cycle}: {event.describe()}")
 
+    def next_event_cycle(self, now: int) -> int:
+        """Next fault-window boundary — a fast-forward wake-up, so window
+        activations (and their ``fired_at`` stamps) match a dense run."""
+        return self._next_boundary if self._next_boundary > now else now + 1
+
     # -- component queries ----------------------------------------------------
 
     def lanes_failed(self, engine: str) -> int:

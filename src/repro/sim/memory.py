@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.eval.platforms import HarpPlatform
 from repro.errors import SimulationError
+from repro.sim.fastpath import NEVER
 
 
 @dataclass
@@ -220,3 +221,31 @@ class MemorySystem:
 
     def quiescent(self, now: int) -> bool:
         return all(r.done_at <= now for r in self._outstanding.values())
+
+    # -- fast-forward interface -----------------------------------------------
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest completion of an outstanding request after ``now``.
+
+        This covers every tracked transfer in the machine — pipeline
+        loads, Expand/Call operand streams, and host batch DMA — since
+        they all go through :meth:`_track`.
+        """
+        wake = NEVER
+        for request in self._outstanding.values():
+            if now < request.done_at < wake:
+                wake = request.done_at
+        return wake
+
+    def latest_completion(self) -> int:
+        """Latest completion over outstanding requests (-1 when none).
+
+        The dense loop refreshes its progress watermark on every cycle
+        with a completion still in the future; a skip replays that by
+        advancing the watermark to this value minus one.
+        """
+        latest = -1
+        for request in self._outstanding.values():
+            if request.done_at > latest:
+                latest = request.done_at
+        return latest

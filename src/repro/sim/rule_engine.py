@@ -15,6 +15,7 @@ from typing import Any, Mapping
 from repro.core.events import Event
 from repro.core.indexing import TaskIndex
 from repro.core.rule import RuleInstance, RuleType, RuleVerdict
+from repro.sim.fastpath import NEVER
 
 
 @dataclass
@@ -138,14 +139,56 @@ class RuleEngineSim:
         indices = [lane.instance.parent_index for lane in self.lanes.values()]
         return min(indices) if indices else None
 
-    def broadcast_minimum(self, min_live: TaskIndex | None) -> None:
-        """Fire otherwise for awaited lanes whose parent ties the minimum."""
+    def broadcast_minimum(self, min_live: TaskIndex | None) -> int:
+        """Fire otherwise for awaited lanes whose parent ties the minimum.
+
+        Returns the number of lanes triggered (a trigger resolves the
+        promise — progress the fast-forward core must not skip over).
+        """
+        fired = 0
         for lane in self.lanes.values():
             if not lane.awaited or lane.instance.returned:
                 continue
             parent = lane.instance.parent_index
             if min_live is None or not min_live.earlier_than(parent):
                 lane.instance.trigger_otherwise()
+                fired += 1
+        return fired
+
+    def would_fire_otherwise(self, min_live: TaskIndex | None) -> bool:
+        """Pure predicate: would :meth:`broadcast_minimum` trigger a lane?
+
+        Evaluated by the fast-forward scheduler on stationary state, so a
+        minimum-broadcast boundary only counts as a wake-up when crossing
+        it would actually change something.
+        """
+        for lane in self.lanes.values():
+            if not lane.awaited or lane.instance.returned:
+                continue
+            parent = lane.instance.parent_index
+            if min_live is None or not min_live.earlier_than(parent):
+                return True
+        return False
+
+    # -- fast-forward interface -----------------------------------------------
+
+    def credit_alloc_stalls(self, count: int) -> None:
+        """Replay ``count`` skipped repeats of one failed allocation.
+
+        Re-evaluates the same occupancy test :meth:`try_alloc` applied in
+        the probe cycle — lane and fault state are frozen across a skip,
+        so the branch outcome is identical.
+        """
+        self.stats.alloc_stalls += count
+        if self.faults is not None:
+            failed = self.faults.lanes_failed(self.name)
+            if failed and len(self.lanes) >= max(0, self.max_lanes - failed):
+                self.stats.fault_alloc_stalls += count
+
+    def next_event_cycle(self, now: int) -> int:
+        """Engines are event-driven: deliveries wake via the event heap
+        and otherwise triggers via the broadcast-boundary predicate."""
+        return NEVER
 
     @property
     def occupancy(self) -> int:

@@ -28,6 +28,7 @@ from repro.core.kernel import (
 )
 from repro.errors import SimulationError
 from repro.obs.events import StallReason
+from repro.sim.fastpath import NEVER
 from repro.sim.fifo import Fifo
 from repro.sim.token import SimToken
 
@@ -80,17 +81,36 @@ class Stage:
 
     def mark_active(self) -> None:
         self.active_cycles += 1
-        self.ctx.active_stages_this_cycle += 1
-        if self.ctx.tracer is not None:
-            self.ctx.tracer.record(self.ctx.cycle, self.name)
-        if self.ctx.obs is not None:
-            self.ctx.obs.stage_fire(self.ctx.cycle, self.name)
+        ctx = self.ctx
+        ctx.active_stages_this_cycle += 1
+        ctx.quiet = False
+        if ctx.tracer is not None:
+            ctx.tracer.record(ctx.cycle, self.name)
+        if ctx.obs is not None:
+            ctx.obs.stage_fire(ctx.cycle, self.name)
 
     def _stall(self, reason: StallReason) -> None:
         """One stalled cycle, attributed to the blocking resource."""
         self.stall_cycles += 1
-        if self.ctx.obs is not None:
-            self.ctx.obs.stage_stall(self.ctx.cycle, self.name, reason)
+        ctx = self.ctx
+        if ctx.ff is not None:
+            # Fast-forward probe: if this whole cycle turns out to make
+            # no progress, every skipped cycle repeats this stall.
+            ctx.ff.cycle_stalls.append((self, reason))
+        if ctx.obs is not None:
+            ctx.obs.stage_stall(ctx.cycle, self.name, reason)
+
+    # -- fast-forward interface -----------------------------------------------
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest future cycle this stage could act at without any other
+        state changing.  Memory-request completions are reported by the
+        MemorySystem, so only stages with private timers override this."""
+        return NEVER
+
+    def credit_skipped_stalls(self, reason: StallReason, count: int) -> None:
+        """Replay ``count`` skipped repeats of one probe-cycle stall."""
+        self.stall_cycles += count
 
     def busy(self) -> bool:
         return len(self.input) > 0
@@ -160,6 +180,7 @@ class LoadStage(Stage):
                     break
         # 2) issue one new request.
         if self.input.visible and len(self.station) < self.depth:
+            ctx.quiet = False  # silent mutation: station + cache state
             token = self.input.pop()
             op = self.op
             addr = self.ctx.state.address(op.region, op.addr(token.env))
@@ -260,6 +281,7 @@ class ExpandStage(Stage):
             token, items, emitted, stream_req = entry
             if stream_req is not None and \
                     ctx.memory.ready(ctx.cycle, stream_req):
+                ctx.quiet = False  # silent mutation: stream retired
                 ctx.memory.retire(stream_req)
                 entry[3] = stream_req = None
             if stream_req is None:
@@ -274,6 +296,7 @@ class ExpandStage(Stage):
                     self._stall(StallReason.BACKPRESSURE)
         # 2) accept one new expansion (issue its row fetch).
         if self.input.visible and len(self._inflight) < self.depth:
+            ctx.quiet = False  # silent mutation: expansion accepted
             token = self.input.pop()
             items = list(op.items(token.env, ctx.state))
             if not items:
@@ -317,6 +340,15 @@ class AllocRuleStage(Stage):
         token.lanes.append((engine, instance))
         self.send(token)
         self.mark_active()
+
+    def credit_skipped_stalls(self, reason: StallReason, count: int) -> None:
+        self.stall_cycles += count
+        if reason is StallReason.RULE:
+            # Each skipped cycle repeats the probe's failed try_alloc;
+            # the head token (stationary) names the engine it targeted.
+            token = self.input.peek()
+            engine = self.ctx.engines[self.op.resolve(token.env)]
+            engine.credit_alloc_stalls(count)
 
 
 class RendezvousStage(Stage):
@@ -374,6 +406,7 @@ class RendezvousStage(Stage):
             self._stall(StallReason.BACKPRESSURE)
         # 2) admit one waiting token into the station.
         if self.input.visible and len(self.station) < self.depth:
+            ctx.quiet = False  # silent mutation: admission arms otherwise
             token = self.input.pop()
             if not token.lanes:
                 raise SimulationError(
@@ -419,6 +452,11 @@ class EnqueueStage(Stage):
         self.send(token)
         self.mark_active()
 
+    def credit_skipped_stalls(self, reason: StallReason, count: int) -> None:
+        self.stall_cycles += count
+        if reason is StallReason.QUEUE:
+            self.ctx.counters.queue_full_stalls.inc(count)
+
 
 class CallStage(Stage):
     """Pipelined problem-specific function unit.
@@ -462,6 +500,7 @@ class CallStage(Stage):
                 break
         # 2) issue one token.
         if self.input.visible and len(self.in_flight) < self.depth:
+            ctx.quiet = False  # silent mutation: issue applies op.fn
             token = self.input.pop()
             updates = op.fn(token.env, ctx.state)
             if updates:
@@ -478,6 +517,15 @@ class CallStage(Stage):
             self.in_flight.append((token, ctx.cycle + latency, stream_req))
         elif self.input.visible:
             self._stall(StallReason.MEMORY)
+
+    def next_event_cycle(self, now: int) -> int:
+        # The function-unit latency timer is the one stage-private clock;
+        # operand-stream completions are reported by the MemorySystem.
+        wake = NEVER
+        for _token, done_at, _req in self.in_flight:
+            if now < done_at < wake:
+                wake = done_at
+        return wake
 
     def busy(self) -> bool:
         return bool(self.in_flight) or len(self.input) > 0

@@ -114,3 +114,19 @@ class SimStats:
                 combined[stage] = combined.get(stage, 0) + count
             setattr(merged, name, combined)
         return merged
+
+
+def stats_digest(stats: SimStats) -> dict:
+    """Canonical JSON-ready dict of a :class:`SimStats`.
+
+    Per-stage maps are key-sorted so two digests compare (and serialize)
+    deterministically — the form the golden fixtures and the differential
+    harness diff against.
+    """
+    digest = {}
+    for f in fields(SimStats):
+        value = getattr(stats, f.name)
+        if isinstance(value, dict):
+            value = {key: value[key] for key in sorted(value)}
+        digest[f.name] = value
+    return digest

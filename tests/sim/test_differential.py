@@ -1,0 +1,210 @@
+"""Differential harness: the fast-forward core must be cycle-exact.
+
+Every test here runs the same workload twice — once densely (the
+reference interpreter, every cycle stepped) and once with
+``SimConfig(fast_forward=True)`` — and asserts the two executions are
+indistinguishable: identical final cycle counts, identical
+:func:`~repro.sim.stats.stats_digest`, identical metrics-registry
+snapshots, identical event-trace *schedules*, and identical
+stall-attribution accounting (every row summing exactly to the total
+cycle count).
+
+The one deliberate divergence is per-cycle ``STAGE_STALL`` trace events:
+the fast core folds a skipped quiescent span into the profiler via
+``credit_skipped_stalls`` instead of emitting one event per cycle, so
+trace comparison filters stall events out and compares everything else
+(fires, queue traffic, rule-engine lifecycle, memory events,
+checkpoints, rollbacks) verbatim.
+
+A small smoke subset runs with the tier-1 suite; the full seeded matrix
+of workloads x platforms x microarchitectural configs x fault plans is
+marked ``slow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.registry import build_app
+from repro.eval.platforms import EVAL_HARP, HARP
+from repro.obs import Observability, TraceEventKind
+from repro.sim.accelerator import (
+    AcceleratorSim,
+    SimConfig,
+    run_resilient,
+)
+from repro.sim.faults import FaultEvent, FaultKind, FaultPlan
+from repro.sim.stats import stats_digest
+from repro.substrates.graphs import random_graph
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _spec(app: str, nodes: int = 120, edges: int = 360, seed: int = 3):
+    return build_app(app, random_graph(nodes, edges, seed=seed))
+
+
+def _run(
+    app: str,
+    *,
+    fast: bool,
+    platform=HARP,
+    config_kwargs: dict | None = None,
+    fault_seed: int | None = None,
+    nodes: int = 120,
+    edges: int = 360,
+    graph_seed: int = 3,
+):
+    """One observed run; returns (SimResult, Observability, stage names)."""
+    spec = _spec(app, nodes, edges, graph_seed)
+    config = SimConfig(fast_forward=fast, **(config_kwargs or {}))
+    faults = None
+    check_interval = None
+    if fault_seed is not None:
+        faults = FaultPlan.generate(
+            fault_seed, 40_000,
+            engines=tuple(spec.rules), task_sets=tuple(spec.task_sets),
+        )
+        check_interval = 512
+    obs = Observability(trace_capacity=1 << 20)
+    sim = AcceleratorSim(
+        spec, platform=platform, config=config,
+        faults=faults, check_interval=check_interval, obs=obs,
+    )
+    result = sim.run()
+    stage_names = [
+        stage.name for pipeline in sim.pipelines for stage in pipeline.stages
+    ]
+    return result, obs, stage_names
+
+
+def _schedule(obs: Observability) -> list[tuple]:
+    """The trace as comparable tuples, excluding per-cycle stall events."""
+    # The comparison is only sound if neither run's ring buffer wrapped.
+    assert obs.tracer.evicted == 0, "trace_capacity too small for this run"
+    return [
+        (e.cycle, e.kind.value, e.name, str(e.reason), str(e.data))
+        for e in obs.tracer.events()
+        if e.kind is not TraceEventKind.STAGE_STALL
+    ]
+
+
+def _assert_equivalent(app: str, dense, fast) -> None:
+    """Full-depth equivalence between one dense and one fast execution."""
+    dense_result, dense_obs, stages = dense
+    fast_result, fast_obs, fast_stages = fast
+    assert fast_stages == stages
+
+    assert fast_result.cycles == dense_result.cycles, (
+        f"{app}: fast run finished at cycle {fast_result.cycles}, "
+        f"dense at {dense_result.cycles}"
+    )
+
+    dense_digest = stats_digest(dense_result.stats)
+    fast_digest = stats_digest(fast_result.stats)
+    for key in dense_digest:
+        assert fast_digest[key] == dense_digest[key], (
+            f"{app}: stats field {key!r} diverged: "
+            f"fast={fast_digest[key]!r} dense={dense_digest[key]!r}"
+        )
+
+    assert fast_obs.registry.snapshot() == dense_obs.registry.snapshot()
+    assert _schedule(fast_obs) == _schedule(dense_obs)
+
+    total = dense_result.cycles
+    dense_acct = dense_obs.profiler.accounting(stages, total)
+    fast_acct = fast_obs.profiler.accounting(stages, total)
+    for stage in stages:
+        assert fast_acct[stage] == dense_acct[stage], (
+            f"{app}: stall accounting diverged for stage {stage!r}"
+        )
+        row = fast_acct[stage]
+        assert sum(v for k, v in row.items() if k != "total") == total
+
+
+# -- tier-1 smoke subset ----------------------------------------------------
+
+
+@pytest.mark.parametrize("app", ["SPEC-BFS", "SPEC-SSSP", "SPEC-CC"])
+def test_memory_bound_runs_are_cycle_exact(app: str) -> None:
+    """The headline case: a bandwidth-starved run is mostly idle, so the
+    fast core skips aggressively — and must still match to the cycle."""
+    platform = EVAL_HARP.scaled(0.05)
+    dense = _run(app, fast=False, platform=platform)
+    fast = _run(app, fast=True, platform=platform)
+    _assert_equivalent(app, dense, fast)
+    # The point of the exercise: the fast run actually skipped cycles.
+    assert fast[0].ff_jumps > 0
+    assert fast[0].ff_cycles_skipped > 0
+
+
+@pytest.mark.parametrize("app", ["SPEC-BFS", "SPEC-SSSP"])
+def test_fault_injection_is_cycle_exact(app: str) -> None:
+    """Fault boundaries, invariant sweeps, and degraded resources are all
+    wake-up sources; a seeded mixed-mode plan must not break exactness."""
+    dense = _run(app, fast=False, platform=EVAL_HARP, fault_seed=11)
+    fast = _run(app, fast=True, platform=EVAL_HARP, fault_seed=11)
+    _assert_equivalent(app, dense, fast)
+
+
+def test_rollback_recovery_is_cycle_exact() -> None:
+    """Force a rollback (total lane outage -> liveness trip) and require
+    the resilient driver's full trajectory to match: failure cycles,
+    error strings, attempts, rollbacks, and final stats."""
+    def resilient(fast: bool):
+        spec = _spec("SPEC-BFS", 200, 600, 7)
+        config = SimConfig(fast_forward=fast, deadlock_window=3000)
+        faults = FaultPlan([
+            FaultEvent(FaultKind.LANE_FAIL, 400, duration=1 << 30,
+                       magnitude=config.rule_lanes),
+        ])
+        return run_resilient(
+            spec, platform=EVAL_HARP.scaled(0.2), config=config,
+            faults=faults, check_interval=256, checkpoint_interval=1000,
+        )
+
+    dense = resilient(False)
+    fast = resilient(True)
+    assert dense.rollbacks >= 1, "fault plan failed to force a rollback"
+    assert fast.result.cycles == dense.result.cycles
+    assert fast.attempts == dense.attempts
+    assert fast.rollbacks == dense.rollbacks
+    assert [f.cycle for f in fast.failures] == [
+        f.cycle for f in dense.failures
+    ]
+    assert [f.error for f in fast.failures] == [
+        f.error for f in dense.failures
+    ]
+    assert stats_digest(fast.result.stats) == stats_digest(
+        dense.result.stats
+    )
+
+
+# -- the full seeded matrix (slow) ------------------------------------------
+
+# (platform, SimConfig overrides): cache sizes come through the platform
+# (HARP = 64 KB cache, EVAL_HARP = 1 KB), bank counts and pipeline depths
+# through the config.
+_MATRIX_CONFIGS = {
+    "harp": (HARP, {}),
+    "small-cache": (EVAL_HARP, {}),
+    "mem-bound": (EVAL_HARP.scaled(0.05), {}),
+    "two-banks": (HARP, {"queue_banks": 2}),
+    "shallow": (EVAL_HARP, {"fifo_depth": 2, "station_depth": 4}),
+}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("fault_seed", [None, 11],
+                         ids=["no-faults", "faults"])
+@pytest.mark.parametrize("cfg", sorted(_MATRIX_CONFIGS))
+@pytest.mark.parametrize("app", ["SPEC-BFS", "SPEC-SSSP", "SPEC-CC"])
+def test_differential_matrix(app: str, cfg: str,
+                             fault_seed: int | None) -> None:
+    platform, overrides = _MATRIX_CONFIGS[cfg]
+    dense = _run(app, fast=False, platform=platform,
+                 config_kwargs=overrides, fault_seed=fault_seed)
+    fast = _run(app, fast=True, platform=platform,
+                config_kwargs=overrides, fault_seed=fault_seed)
+    _assert_equivalent(f"{app}/{cfg}", dense, fast)

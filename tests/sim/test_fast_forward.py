@@ -1,0 +1,178 @@
+"""Property-based tests for the fast-forward wake-up scheduler.
+
+The legality argument in ``sim/fastpath.py`` rests on two invariants
+that these tests check mechanically, over randomized workloads,
+platforms, microarchitectural shapes, and machine states:
+
+* **never past a wake-up** — the clock never jumps beyond the earliest
+  ``next_event_cycle`` any component declared at jump time;
+* **never backwards** — within an execution the clock is monotone, and
+  after a rollback restores an earlier cycle, jumps resume from the
+  restored clock without ever re-crossing it backwards.
+
+The scheduler keeps an optional jump journal (``sim.ff.log``) recording
+every ``(from_cycle, to_cycle, wake)`` it commits; the properties are
+asserted over that journal.  Component-level ``next_event_cycle``
+contracts (strictly-greater-than-now or the ``NEVER`` sentinel) are
+checked both at randomly chosen mid-run machine states and directly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.registry import build_app
+from repro.errors import ReproError
+from repro.eval.platforms import EVAL_HARP
+from repro.sim.accelerator import AcceleratorSim, SimConfig
+from repro.sim.checkpoint import CheckpointManager
+from repro.sim.fastpath import NEVER
+from repro.sim.faults import FaultEvent, FaultKind, FaultPlan
+from repro.substrates.graphs import random_graph
+
+SETTINGS = settings(derandomize=True, deadline=None, max_examples=10)
+
+APPS = st.sampled_from(["SPEC-BFS", "SPEC-SSSP", "SPEC-CC"])
+SCALES = st.sampled_from([0.05, 0.25, 1.0])
+
+
+def _sim(app: str, graph_seed: int, scale: float, **config_kwargs):
+    spec = build_app(app, random_graph(60, 180, seed=graph_seed))
+    return AcceleratorSim(
+        spec,
+        platform=EVAL_HARP.scaled(scale),
+        config=SimConfig(fast_forward=True, **config_kwargs),
+    )
+
+
+def _assert_journal_sound(log, *, floor: int = 0) -> None:
+    """The core scheduler invariants, over one journal segment."""
+    clock = floor
+    for frm, to, wake in log:
+        # Jumps are committed in program order and never move the clock
+        # backwards — including relative to a rollback's restored cycle.
+        assert frm >= clock
+        assert to > frm
+        # The clock never jumps past the earliest declared wake-up.
+        assert to <= wake
+        clock = to
+
+
+# -- full-run journal properties --------------------------------------------
+
+
+@SETTINGS
+@given(app=APPS, graph_seed=st.integers(0, 5), scale=SCALES,
+       banks=st.sampled_from([2, 4]))
+def test_jump_journal_respects_wakeups(app, graph_seed, scale, banks):
+    sim = _sim(app, graph_seed, scale, queue_banks=banks)
+    sim.ff.log = []
+    result = sim.run()
+    _assert_journal_sound(sim.ff.log)
+    # The journal is exhaustive: one entry per committed jump, and the
+    # skipped-cycle telemetry is exactly the sum of the jump widths.
+    assert len(sim.ff.log) == result.ff_jumps
+    assert sum(to - frm for frm, to, _ in sim.ff.log) \
+        == result.ff_cycles_skipped
+    # Every cycle is either stepped densely or accounted to one jump.
+    assert result.ff_cycles_skipped <= result.cycles
+
+
+@SETTINGS
+@given(app=APPS, graph_seed=st.integers(0, 5), steps=st.integers(1, 400),
+       scale=SCALES)
+def test_next_wakeup_contract_at_arbitrary_states(app, graph_seed, steps,
+                                                  scale):
+    """At any reachable machine state, the aggregated wake-up is strictly
+    in the future and is exactly the minimum over every source."""
+    sim = _sim(app, graph_seed, scale)
+    sim.host.start()
+    sim._started = True
+    for _ in range(steps):
+        if not sim._work_remaining():
+            break
+        sim.step()
+    now = sim.cycle - 1
+    wake = sim.ff.next_wakeup(now)
+    assert wake > now
+
+    candidates = [NEVER]
+    if sim._event_heap:
+        candidates.append(sim._event_heap[0][0])
+    candidates.append(sim.memory.next_event_cycle(now))
+    candidates.extend(s.next_event_cycle(now) for s in sim._timed_stages)
+    candidates.append(sim.host.next_event_cycle(now))
+    candidates.append(sim.ff._next_broadcast_cycle(now))
+    for when in candidates:
+        assert when == NEVER or when > now, \
+            f"component declared a non-future wake-up {when} at now={now}"
+    assert wake == min(candidates)
+
+
+# -- rollback ----------------------------------------------------------------
+
+
+def test_jump_journal_monotone_across_rollback():
+    """Force a liveness failure (total lane outage), roll back, resume:
+    the restored clock is earlier, but post-rollback jumps start at or
+    after it and stay monotone — the clock never re-crosses backwards."""
+    spec = build_app("SPEC-BFS", random_graph(200, 600, seed=7))
+    config = SimConfig(fast_forward=True, deadlock_window=3000)
+    faults = FaultPlan([
+        FaultEvent(FaultKind.LANE_FAIL, 400, duration=1 << 30,
+                   magnitude=config.rule_lanes),
+    ])
+    sim = AcceleratorSim(
+        spec, platform=EVAL_HARP.scaled(0.2), config=config,
+        faults=faults, check_interval=256,
+    )
+    manager = CheckpointManager(sim, interval=1000)
+    sim.checkpoints = manager
+    sim.ff.log = []
+    try:
+        sim.run()
+    except ReproError:
+        pass
+    else:  # pragma: no cover - the outage must trip liveness
+        raise AssertionError("fault plan failed to force a failure")
+    failure_cycle = sim.cycle
+    _assert_journal_sound(sim.ff.log)
+
+    faults.disarm_fired()
+    revived = manager.rollback()
+    assert revived.cycle < failure_cycle
+    # The journal rolled back with the scheduler (it lives inside the
+    # checkpointed object graph): no entry crosses the restored cycle.
+    _assert_journal_sound(revived.ff.log)
+    assert all(to <= revived.cycle for _, to, _ in revived.ff.log)
+
+    restored_cycle = revived.cycle
+    revived.ff.log = []
+    result = revived.run()
+    assert result.cycles > restored_cycle
+    _assert_journal_sound(revived.ff.log, floor=restored_cycle)
+
+
+# -- direct component contracts ---------------------------------------------
+
+
+@SETTINGS
+@given(seed=st.integers(0, 50), now=st.integers(0, 100_000))
+def test_fault_plan_wakeup_is_strictly_future(seed, now):
+    plan = FaultPlan.generate(
+        seed, 40_000, engines=("relax",), task_sets=("frontier",),
+    )
+    plan.advance(min(now, 39_999))
+    assert plan.next_event_cycle(now) > now
+
+
+@SETTINGS
+@given(now=st.integers(0, 1 << 40), interval=st.integers(1, 100_000))
+def test_periodic_wakeups_are_strictly_future(now, interval):
+    """The boundary arithmetic shared by the invariant checker and the
+    minimum-broadcast wake-up: next multiple of ``interval`` after
+    ``now`` is strictly greater and at most one interval away."""
+    boundary = ((now // interval) + 1) * interval
+    assert now < boundary <= now + interval
+    assert boundary % interval == 0
