@@ -11,6 +11,14 @@ Commands
 ``experiment``  regenerate table1 / figure9 / figure10 / resources
 ``dse APP``     design-space exploration (Pareto frontier)
 ``fault-campaign``  seeded fault injection with checkpoint/rollback recovery
+``runs``        query the cross-run telemetry store (list / show / diff)
+``diagnose``    rank a run's bottlenecks from its stored telemetry
+``dashboard``   write the self-contained HTML telemetry dashboard
+
+``simulate``, ``profile``, ``fault-campaign`` and ``experiment`` append
+a :class:`~repro.obs.runstore.RunRecord` to the run store
+(``.repro/runs.jsonl``; ``--no-store`` opts out, ``--store DIR``
+relocates it), which ``runs`` / ``diagnose`` / ``dashboard`` consume.
 
 ``simulate`` accepts ``--inject SEED`` (seeded fault plan),
 ``--check-invariants`` (runtime sanitizer), ``--resilient``
@@ -25,6 +33,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Callable
 
 from repro.apps.registry import APP_BUILDERS, build_app
@@ -34,6 +43,16 @@ from repro.core.eca_format import format_rule
 from repro.eval.platforms import EVAL_HARP
 from repro.obs import Observability
 from repro.obs.profile import format_stall_report
+from repro.obs.runstore import (
+    DEFAULT_STORE_DIR,
+    RunStore,
+    diff_records,
+    format_diff,
+    format_record,
+    format_records_table,
+    golden_record,
+    record_from_result,
+)
 from repro.sim.accelerator import AcceleratorSim, SimConfig
 from repro.sim.trace import ScheduleTracer
 from repro.substrates.graphs.generators import random_graph
@@ -108,6 +127,29 @@ def _build_fault_plan(spec, config: SimConfig, seed: int,
     )
 
 
+def _store_from_args(args: argparse.Namespace) -> RunStore | None:
+    """The run store this invocation appends to (None = ``--no-store``)."""
+    if getattr(args, "no_store", False):
+        return None
+    return RunStore(getattr(args, "store", DEFAULT_STORE_DIR))
+
+
+def _add_store_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--store", default=DEFAULT_STORE_DIR,
+                        metavar="DIR",
+                        help="run-store directory (default .repro)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="do not record this run in the run store")
+
+
+def _resolve_run_ref(store: RunStore, ref: str):
+    """A store run id, or ``golden:PATH`` for a golden fixture file."""
+    if ref.startswith("golden:"):
+        with open(ref[len("golden:"):], "r", encoding="utf-8") as handle:
+            return golden_record(json.load(handle))
+    return store.get(ref)
+
+
 def _write_observability(args: argparse.Namespace, result) -> None:
     """Export the run's trace / metrics snapshot where requested."""
     trace_out = getattr(args, "trace_out", None)
@@ -130,9 +172,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     from repro.sim.invariants import DEFAULT_CHECK_INTERVAL
 
     spec = _default_spec(args.app)
+    store = _store_from_args(args)
     tracer = ScheduleTracer(max_cycles=args.trace_cycles) if args.trace \
         else None
-    obs = Observability() if (args.trace_out or args.metrics_out) else None
+    obs = Observability() if (args.trace_out or args.metrics_out
+                              or store is not None) else None
     platform = EVAL_HARP.scaled(args.bandwidth)
     config = SimConfig(prefetch=args.prefetch, fast_forward=args.fast)
     check_interval = (
@@ -152,6 +196,9 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             spec, config, args.inject, baseline.cycles, args.intensity,
         )
 
+    wall_start = time.perf_counter()
+    stage_names = None
+    extra: dict = {}
     if args.resilient:
         res = run_resilient(
             spec, platform=platform, config=config,
@@ -161,6 +208,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             obs=obs,
         )
         result = res.result
+        extra = {"resilient": {"recovered": res.recovered,
+                               "attempts": res.attempts,
+                               "rollbacks": res.rollbacks,
+                               "degradations": res.degradations}}
         print(f"{spec.name}: recovered={res.recovered} "
               f"attempts={res.attempts} rollbacks={res.rollbacks} "
               f"degradations={res.degradations} "
@@ -172,6 +223,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             obs=obs,
         )
         result = sim.run()
+        stage_names = [
+            stage.name for pipeline in sim.pipelines
+            for stage in pipeline.stages
+        ]
+    wall_seconds = time.perf_counter() - wall_start
     print(f"{spec.name}: {result.cycles} cycles "
           f"({result.seconds * 1e6:.1f} us at 200 MHz), "
           f"utilization {result.utilization * 100:.1f}%, "
@@ -195,6 +251,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             active = result.stats.per_stage_active.get(name, 0)
             print(f"  {name:40s} stall={count:7d} active={active:7d}")
     _write_observability(args, result)
+    if store is not None:
+        record = store.append(record_from_result(
+            "simulate", spec, result, platform=platform, config=config,
+            stage_names=stage_names, seed=args.inject,
+            wall_seconds=wall_seconds, extra=extra,
+        ))
+        print(f"stored run {record.run_id} -> {store.path}")
     return 0
 
 
@@ -208,13 +271,14 @@ def cmd_profile(args: argparse.Namespace) -> int:
     Chrome ``trace_event`` JSON for Perfetto.
     """
     spec = _default_spec(args.app)
+    store = _store_from_args(args)
     obs = Observability(trace_capacity=args.trace_capacity)
     platform = EVAL_HARP.scaled(args.bandwidth)
-    sim = AcceleratorSim(
-        spec, platform=platform,
-        config=SimConfig(fast_forward=args.fast), obs=obs,
-    )
+    config = SimConfig(fast_forward=args.fast)
+    sim = AcceleratorSim(spec, platform=platform, config=config, obs=obs)
+    wall_start = time.perf_counter()
     result = sim.run()
+    wall_seconds = time.perf_counter() - wall_start
     stage_names = [
         stage.name for pipeline in sim.pipelines for stage in pipeline.stages
     ]
@@ -225,6 +289,12 @@ def cmd_profile(args: argparse.Namespace) -> int:
     print()
     print(format_stall_report(accounting, result.cycles, top=args.top))
     _write_observability(args, result)
+    if store is not None:
+        record = store.append(record_from_result(
+            "profile", spec, result, platform=platform, config=config,
+            stage_names=stage_names, wall_seconds=wall_seconds,
+        ))
+        print(f"stored run {record.run_id} -> {store.path}")
     return 0
 
 
@@ -237,10 +307,12 @@ def cmd_fault_campaign(args: argparse.Namespace) -> int:
     repeated invocations with the same seed.
     """
     from repro.errors import RecoveryExhaustedError
+    from repro.eval.platforms import HARP
     from repro.sim.accelerator import run_resilient
     from repro.sim.stats import SimStats
 
     config = SimConfig()
+    store = _store_from_args(args)
     all_ok = True
     runs: list[dict] = []
     aggregate = SimStats()
@@ -266,6 +338,17 @@ def cmd_fault_campaign(args: argparse.Namespace) -> int:
                 continue
             stats = res.result.stats
             aggregate = aggregate.merge(stats)
+            if store is not None:
+                # Silent append: the campaign's stdout stays byte-
+                # identical across repeated seeded invocations.
+                store.append(record_from_result(
+                    "fault-campaign", spec, res.result,
+                    platform=HARP, config=config, seed=args.seed + trial,
+                    extra={"trial": trial,
+                           "baseline_cycles": baseline.cycles,
+                           "rollbacks": res.rollbacks,
+                           "degradations": res.degradations},
+                ))
             runs.append({
                 "app": app,
                 "trial": trial,
@@ -308,7 +391,7 @@ def cmd_fault_campaign(args: argparse.Namespace) -> int:
 
 def cmd_experiment(args: argparse.Namespace) -> int:
     from repro.eval import experiments, reporting
-    from repro.eval.export import export_all
+    from repro.eval.export import export_all, store_experiment_results
 
     kind = args.kind
     exported = {}
@@ -331,6 +414,96 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if args.json:
         path = export_all(args.json, **exported)
         print(f"\nwrote {path}")
+    store = _store_from_args(args)
+    if store is not None and exported:
+        count = store_experiment_results(store, **exported)
+        print(f"stored {count} experiment records -> {store.path}")
+    return 0
+
+
+def cmd_runs(args: argparse.Namespace) -> int:
+    """Query the cross-run telemetry store (list / show / diff)."""
+    store = RunStore(args.store)
+    try:
+        if args.runs_command == "list":
+            print(format_records_table(store.records()))
+        elif args.runs_command == "show":
+            print(format_record(_resolve_run_ref(store, args.ref)))
+        else:  # diff
+            a = _resolve_run_ref(store, args.a)
+            b = _resolve_run_ref(store, args.b)
+            print(format_diff(diff_records(a, b)))
+    except (KeyError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _observed_record(app: str, bandwidth: float, fast: bool):
+    """Run ``app`` once with full observability; return (spec, record)."""
+    spec = _default_spec(app)
+    obs = Observability()
+    platform = EVAL_HARP.scaled(bandwidth)
+    config = SimConfig(fast_forward=fast)
+    sim = AcceleratorSim(spec, platform=platform, config=config, obs=obs)
+    wall_start = time.perf_counter()
+    result = sim.run()
+    wall_seconds = time.perf_counter() - wall_start
+    stage_names = [
+        stage.name for pipeline in sim.pipelines for stage in pipeline.stages
+    ]
+    return spec, record_from_result(
+        "diagnose", spec, result, platform=platform, config=config,
+        stage_names=stage_names, wall_seconds=wall_seconds,
+    )
+
+
+def cmd_diagnose(args: argparse.Namespace) -> int:
+    """Classify a run's bottleneck from its stored (or fresh) telemetry."""
+    from repro.obs.diagnose import diagnose_record, format_findings
+
+    if args.run is not None:
+        store = RunStore(args.store)
+        try:
+            record = _resolve_run_ref(store, args.run)
+        except (KeyError, FileNotFoundError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    elif args.app is not None:
+        _, record = _observed_record(args.app, args.bandwidth, args.fast)
+        store = _store_from_args(args)
+        if store is not None:
+            record = store.append(record)
+    else:
+        print("error: give an APP to simulate or --run REF to diagnose "
+              "a stored run", file=sys.stderr)
+        return 1
+    print(format_findings(record, diagnose_record(record)))
+    return 0
+
+
+def cmd_dashboard(args: argparse.Namespace) -> int:
+    """Render the self-contained HTML dashboard from the run store."""
+    from repro.obs.dashboard import write_dashboard
+    from repro.obs.diagnose import diagnose_record
+
+    store = RunStore(args.store)
+    history = store.records()
+    if args.app is not None:
+        _, record = _observed_record(args.app, args.bandwidth, args.fast)
+        if not args.no_store:
+            record = store.append(record)
+            history.append(record)
+    else:
+        try:
+            record = _resolve_run_ref(store, args.run)
+        except (KeyError, FileNotFoundError) as exc:
+            print(f"error: {exc} — run e.g. `repro simulate SPEC-BFS` "
+                  "first, or pass an APP", file=sys.stderr)
+            return 1
+    write_dashboard(args.out, record, diagnose_record(record), history)
+    print(f"wrote {args.out} (run {record.run_id or 'unsaved'}, "
+          f"{len(history)} stored runs)")
     return 0
 
 
@@ -417,6 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
                                "(load in Perfetto / chrome://tracing)")
     simulate.add_argument("--metrics-out", metavar="FILE",
                           help="write a metrics-registry snapshot JSON")
+    _add_store_options(simulate)
     simulate.set_defaults(handler=cmd_simulate)
 
     profile = sub.add_parser(
@@ -437,6 +611,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the Chrome trace_event JSON")
     profile.add_argument("--metrics-out", metavar="FILE",
                          help="also write the metrics snapshot JSON")
+    _add_store_options(profile)
     profile.set_defaults(handler=cmd_profile)
 
     campaign = sub.add_parser(
@@ -454,6 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--metrics-out", metavar="FILE",
                           help="write per-run metric snapshots plus the "
                                "merged aggregate as JSON")
+    _add_store_options(campaign)
     campaign.set_defaults(handler=cmd_fault_campaign)
 
     experiment = sub.add_parser("experiment",
@@ -463,7 +639,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", type=float, default=1.0)
     experiment.add_argument("--json", help="also export results to JSON")
+    _add_store_options(experiment)
     experiment.set_defaults(handler=cmd_experiment)
+
+    runs = sub.add_parser("runs", help="query the cross-run telemetry "
+                                       "store (.repro/runs.jsonl)")
+    runs.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR")
+    runs_sub = runs.add_subparsers(dest="runs_command", required=True)
+    runs_sub.add_parser("list", help="table of every stored run")
+    runs_show = runs_sub.add_parser("show", help="one run in detail")
+    runs_show.add_argument("ref", help="run id, prefix, 'latest', a "
+                                       "negative index, or golden:PATH")
+    runs_diff = runs_sub.add_parser(
+        "diff", help="per-stall-bucket cycle deltas between two runs "
+                     "(or against a golden: baseline)")
+    runs_diff.add_argument("a")
+    runs_diff.add_argument("b")
+    runs.set_defaults(handler=cmd_runs)
+
+    diagnose = sub.add_parser(
+        "diagnose", help="rank the bottlenecks of a run "
+                         "(memory / bandwidth / rule-lane / queue / "
+                         "squash / host-launch)")
+    diagnose.add_argument("app", nargs="?",
+                          help="simulate this app with observability on")
+    diagnose.add_argument("--run", metavar="REF",
+                          help="diagnose a stored run instead")
+    diagnose.add_argument("--bandwidth", type=float, default=1.0)
+    diagnose.add_argument("--fast", action="store_true")
+    _add_store_options(diagnose)
+    diagnose.set_defaults(handler=cmd_diagnose)
+
+    dashboard = sub.add_parser(
+        "dashboard", help="write the self-contained HTML dashboard")
+    dashboard.add_argument("app", nargs="?",
+                           help="simulate this app first (else use --run)")
+    dashboard.add_argument("--run", metavar="REF", default="latest",
+                           help="stored run to feature (default latest)")
+    dashboard.add_argument("--out", default="dashboard.html",
+                           metavar="FILE")
+    dashboard.add_argument("--bandwidth", type=float, default=1.0)
+    dashboard.add_argument("--fast", action="store_true")
+    _add_store_options(dashboard)
+    dashboard.set_defaults(handler=cmd_dashboard)
 
     rtl = sub.add_parser("rtl", help="emit the SystemVerilog skeleton")
     rtl.add_argument("app")

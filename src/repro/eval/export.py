@@ -112,3 +112,91 @@ def export_all(
     path = Path(destination)
     path.write_text(json.dumps(document, indent=2, sort_keys=True))
     return path
+
+
+# ---------------------------------------------------------------------------
+# Run-store wiring: experiment results as RunRecords
+# ---------------------------------------------------------------------------
+
+
+def experiment_records(
+    table1: Table1Result | None = None,
+    figure9: Figure9Result | None = None,
+    figure10: dict[str, Figure10Series] | None = None,
+    resources: dict[str, ResourceRow] | None = None,
+) -> list:
+    """Experiment results as :class:`~repro.obs.runstore.RunRecord` rows.
+
+    One record per simulated (app, platform) point, ``kind="experiment"``
+    and the same schema as direct ``repro simulate`` records — so a
+    figure-10 sweep lands in the store as the per-bandwidth series the
+    dashboard plots, and ``repro runs diff`` works across experiment
+    re-runs.  Cycle counts are recovered from the reported seconds at the
+    evaluation clock; resource rows (no timing) store cycles = 0 with the
+    structural numbers in ``extra``.
+    """
+    from repro.eval.platforms import EVAL_HARP
+    from repro.obs.runstore import RunRecord, platform_to_dict
+
+    def record(app: str, seconds: float, utilization: float,
+               squash: float, platform, extra: dict[str, Any]) -> RunRecord:
+        return RunRecord(
+            kind="experiment",
+            app=app,
+            cycles=int(round(seconds * platform.clock_hz)),
+            seconds=seconds,
+            utilization=utilization,
+            squash_fraction=squash,
+            verified=True,
+            platform=platform_to_dict(platform),
+            extra=extra,
+        )
+
+    records: list = []
+    if table1 is not None:
+        for app, seconds in (("SPEC-BFS", table1.spec_bfs_seconds),
+                             ("COOR-BFS", table1.coor_bfs_seconds)):
+            records.append(record(
+                app, seconds, 0.0, 0.0, EVAL_HARP,
+                {"experiment": "table1", "graph": table1.graph,
+                 "levels": table1.levels,
+                 "opencl_seconds": table1.opencl_seconds},
+            ))
+    if figure9 is not None:
+        for app, row in figure9.rows.items():
+            records.append(record(
+                app, row.accel_seconds, row.utilization, 0.0, EVAL_HARP,
+                {"experiment": "figure9",
+                 "speedup_vs_1core": round(row.speedup_vs_1core, 4),
+                 "speedup_vs_10core": round(row.speedup_vs_10core, 4)},
+            ))
+    if figure10 is not None:
+        for app, series in figure10.items():
+            for point in series.points:
+                records.append(record(
+                    app, point.seconds, point.utilization,
+                    point.squash_fraction,
+                    EVAL_HARP.scaled(point.bandwidth_scale),
+                    {"experiment": "figure10",
+                     "speedup_over_baseline":
+                         round(point.speedup_over_baseline, 4)},
+                ))
+    if resources is not None:
+        for app, row in resources.items():
+            records.append(record(
+                app, 0.0, 0.0, 0.0, EVAL_HARP,
+                {"experiment": "resources",
+                 "pipelines": row.pipelines,
+                 "rule_lanes": row.rule_lanes,
+                 "rule_engine_register_share":
+                     round(row.rule_engine_register_share, 4)},
+            ))
+    return records
+
+
+def store_experiment_results(store, **results) -> int:
+    """Append every experiment record to ``store``; returns the count."""
+    records = experiment_records(**results)
+    for item in records:
+        store.append(item)
+    return len(records)

@@ -26,7 +26,11 @@ from __future__ import annotations
 
 from repro.obs.events import StallReason, TraceEvent, TraceEventKind
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.profile import StallProfiler, format_stall_report
+from repro.obs.profile import (
+    StallProfiler,
+    UtilizationTimeline,
+    format_stall_report,
+)
 from repro.obs.tracer import EventTracer
 
 
@@ -43,7 +47,9 @@ class Observability:
         self.tracer = EventTracer(trace_capacity)
         self.registry = MetricsRegistry()
         self.profiler = StallProfiler()
+        self.timeline = UtilizationTimeline()
         self.tracer.add_sink(self.profiler.on_event)
+        self.tracer.add_sink(self.timeline.on_event)
         self.now = 0
 
     # -- pipeline stages -------------------------------------------------------
@@ -87,9 +93,10 @@ class Observability:
     def rule_rendezvous(self, engine: str) -> None:
         self.tracer.emit(self.now, TraceEventKind.RULE_RENDEZVOUS, engine)
 
-    def rule_return(self, engine: str, verdict: str) -> None:
+    def rule_return(self, engine: str, verdict: str,
+                    occupancy: int = 0) -> None:
         self.tracer.emit(self.now, TraceEventKind.RULE_RETURN, engine,
-                         data={"verdict": verdict})
+                         data={"verdict": verdict, "occupancy": occupancy})
 
     def rule_squash(self, cycle: int, engine: str) -> None:
         self.tracer.emit(cycle, TraceEventKind.RULE_SQUASH, engine)
@@ -137,5 +144,6 @@ __all__ = [
     "StallReason",
     "TraceEvent",
     "TraceEventKind",
+    "UtilizationTimeline",
     "format_stall_report",
 ]

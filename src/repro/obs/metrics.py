@@ -71,6 +71,42 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, fraction: float) -> float:
+        """Estimate the ``fraction`` quantile (0 < fraction <= 1).
+
+        The estimate walks the cumulative bucket counts to the bucket
+        holding the target rank and interpolates linearly inside its
+        value range ``[2**(k-1), 2**k)`` — exact for buckets 0 and 1
+        (which hold a single value each), within one octave otherwise,
+        and always deterministic, so snapshots stay diffable.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"percentile fraction must be in (0, 1], "
+                             f"got {fraction!r}")
+        if self.count == 0:
+            return 0.0
+        rank = fraction * self.count
+        cumulative = 0
+        for k, bucket in enumerate(self.buckets):
+            if bucket == 0:
+                continue
+            cumulative += bucket
+            if cumulative >= rank:
+                if k <= 1:
+                    return float(k)  # bucket 0 holds 0s, bucket 1 holds 1s
+                low, high = 1 << (k - 1), 1 << k
+                within = (rank - (cumulative - bucket)) / bucket
+                return low + within * (high - 1 - low)
+        return float(1 << (len(self.buckets) - 1))  # pragma: no cover
+
+    def percentiles(self) -> dict[str, float]:
+        """The standard p50/p95/p99 summary used by snapshots."""
+        return {
+            "p50": round(self.percentile(0.50), 3),
+            "p95": round(self.percentile(0.95), 3),
+            "p99": round(self.percentile(0.99), 3),
+        }
+
     def bucket_labels(self) -> list[str]:
         return ["0" if k == 0 else f"<{1 << k}"
                 for k in range(len(self.buckets))]
@@ -125,6 +161,7 @@ class MetricsRegistry:
                     "count": h.count,
                     "sum": h.total,
                     "mean": round(h.mean, 6),
+                    **h.percentiles(),
                     "buckets": dict(zip(h.bucket_labels(), h.buckets)),
                 }
                 for name, h in sorted(self.histograms.items())

@@ -115,6 +115,55 @@ class StallProfiler:
         return report
 
 
+class UtilizationTimeline:
+    """Bounded-memory pipeline-activity timeline, folded from the stream.
+
+    Counts ``STAGE_FIRE`` events into fixed-width cycle buckets; when a
+    run outgrows ``max_buckets`` the resolution halves (adjacent buckets
+    merge, the width doubles), so any run folds into at most
+    ``max_buckets`` points — the series the dashboard's utilization
+    timeline plots.  Like the profiler it is an online tracer sink, so
+    the timeline is complete even after the ring buffer wraps, and it is
+    plain data, so checkpoints copy it and rollbacks restore it.
+    """
+
+    def __init__(self, max_buckets: int = 256) -> None:
+        if max_buckets < 2:
+            raise ValueError("timeline needs at least 2 buckets")
+        self.max_buckets = max_buckets
+        self.bucket_cycles = 1
+        self.counts: list[int] = []
+
+    def on_event(self, event: TraceEvent) -> None:
+        if event.kind is not TraceEventKind.STAGE_FIRE:
+            return
+        index = event.cycle // self.bucket_cycles
+        while index >= self.max_buckets:
+            counts = self.counts
+            self.counts = [
+                counts[i] + (counts[i + 1] if i + 1 < len(counts) else 0)
+                for i in range(0, len(counts), 2)
+            ]
+            self.bucket_cycles *= 2
+            index = event.cycle // self.bucket_cycles
+        counts = self.counts
+        if index >= len(counts):
+            counts.extend([0] * (index + 1 - len(counts)))
+        counts[index] += 1
+
+    def series(self, total_stages: int) -> list[float]:
+        """Per-bucket utilization: active stage-cycles over capacity."""
+        capacity = max(1, total_stages) * self.bucket_cycles
+        return [round(count / capacity, 6) for count in self.counts]
+
+    def to_dict(self, total_stages: int) -> dict:
+        """The JSON form stored in a run record."""
+        return {
+            "bucket_cycles": self.bucket_cycles,
+            "utilization": self.series(total_stages),
+        }
+
+
 def format_stall_report(
     accounting: dict[str, dict[str, int]],
     total_cycles: int,

@@ -78,9 +78,18 @@ class EventTracer:
     # -- Chrome trace_event export ---------------------------------------------
 
     def chrome_trace(self) -> dict:
-        """The ring as a Chrome ``trace_event`` JSON document (a dict)."""
+        """The ring as a Chrome ``trace_event`` JSON document (a dict).
+
+        Besides the stage slices and instants, three families of counter
+        tracks ("C" events) render Perfetto load curves: per-queue
+        occupancy, per-engine live rule lanes, and the outstanding QPI
+        request count (reconstructed from issue/complete instants, so it
+        is relative to the start of the ring when old events were
+        evicted).
+        """
         out: list[dict] = []
         tids: dict[tuple[int, str], int] = {}
+        qpi_outstanding = 0
 
         def tid(pid: int, name: str) -> int:
             key = (pid, name)
@@ -128,6 +137,15 @@ class EventTracer:
                     "pid": _PID_RULES, "tid": tid(_PID_RULES, ev.name),
                     "args": dict(ev.data) if ev.data else {},
                 })
+                if kind in (TraceEventKind.RULE_PROMISE,
+                            TraceEventKind.RULE_RETURN):
+                    out.append({
+                        "name": f"lanes:{ev.name}", "ph": "C",
+                        "ts": ev.cycle, "pid": _PID_RULES,
+                        "args": {
+                            "lanes": (ev.data or {}).get("occupancy", 0),
+                        },
+                    })
             elif kind in (TraceEventKind.MEM_ISSUE, TraceEventKind.MEM_HIT,
                           TraceEventKind.MEM_MISS,
                           TraceEventKind.MEM_COMPLETE):
@@ -136,6 +154,17 @@ class EventTracer:
                     "pid": _PID_MEMORY, "tid": tid(_PID_MEMORY, "channel"),
                     "args": dict(ev.data) if ev.data else {},
                 })
+                if kind is TraceEventKind.MEM_ISSUE:
+                    qpi_outstanding += 1
+                elif kind is TraceEventKind.MEM_COMPLETE:
+                    qpi_outstanding = max(0, qpi_outstanding - 1)
+                if kind in (TraceEventKind.MEM_ISSUE,
+                            TraceEventKind.MEM_COMPLETE):
+                    out.append({
+                        "name": "qpi:outstanding", "ph": "C",
+                        "ts": ev.cycle, "pid": _PID_MEMORY,
+                        "args": {"outstanding": qpi_outstanding},
+                    })
             else:  # CHECKPOINT / ROLLBACK
                 out.append({
                     "name": kind.value, "ph": "i", "s": "g", "ts": ev.cycle,

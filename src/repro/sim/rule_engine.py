@@ -105,7 +105,8 @@ class RuleEngineSim:
         elif instance.verdict is RuleVerdict.CLAUSE:
             self.stats.clause_fired += 1
         if self.obs is not None:
-            self.obs.rule_return(self.name, instance.verdict.name.lower())
+            self.obs.rule_return(self.name, instance.verdict.name.lower(),
+                                 len(self.lanes))
 
     # -- event bus ------------------------------------------------------------
 

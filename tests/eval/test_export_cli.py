@@ -38,6 +38,63 @@ class TestExport:
         assert "table1" not in document
 
 
+class TestExperimentRecords:
+    """Experiment results adapt into run-store records (same schema)."""
+
+    def test_figure10_series_becomes_per_bandwidth_records(self):
+        from repro.eval.experiments import Figure10Point, Figure10Series
+        from repro.eval.export import experiment_records
+        from repro.eval.platforms import EVAL_HARP
+
+        series = Figure10Series("SPEC-BFS", points=[
+            Figure10Point(1.0, 1e-3, 1.0, 0.30, 0.01),
+            Figure10Point(8.0, 5e-4, 2.0, 0.35, 0.02),
+        ])
+        records = experiment_records(figure10={"SPEC-BFS": series})
+        assert [r.platform["bandwidth_scale"] for r in records] == \
+            [1.0, 8.0]
+        assert all(r.kind == "experiment" for r in records)
+        assert records[0].cycles == int(round(1e-3 * EVAL_HARP.clock_hz))
+        assert records[1].extra["speedup_over_baseline"] == 2.0
+        # Scaled platform facts are captured per point.
+        assert records[1].platform["qpi_bytes_per_cycle"] == \
+            pytest.approx(8 * records[0].platform["qpi_bytes_per_cycle"])
+
+    def test_table1_figure9_and_resources_adapt(self, small_table1):
+        from repro.eval.experiments import (
+            Figure9Result, Figure9Row, ResourceRow,
+        )
+        from repro.eval.export import experiment_records
+
+        figure9 = Figure9Result(rows={
+            "COOR-LU": Figure9Row("COOR-LU", 0.002, 0.006, 0.003, 0.1),
+        })
+        resources = {"SPEC-BFS": ResourceRow("SPEC-BFS", 8, 32, 0.07,
+                                             0.2, 0.4, 0.05)}
+        records = experiment_records(
+            table1=small_table1, figure9=figure9, resources=resources,
+        )
+        kinds = [r.extra["experiment"] for r in records]
+        assert kinds == ["table1", "table1", "figure9", "resources"]
+        assert records[2].extra["speedup_vs_1core"] == 3.0
+        assert records[3].cycles == 0  # structural row, no timing
+
+    def test_store_experiment_results_appends(self, tmp_path):
+        from repro.eval.experiments import Figure10Point, Figure10Series
+        from repro.eval.export import store_experiment_results
+        from repro.obs.runstore import RunStore
+
+        store = RunStore(tmp_path / "store")
+        series = Figure10Series("X", points=[
+            Figure10Point(1.0, 1e-3, 1.0, 0.1, 0.0),
+        ])
+        count = store_experiment_results(store, figure10={"X": series})
+        assert count == 1
+        records = store.records()
+        assert records[0].run_id == "000001"
+        assert records[0].app == "X"
+
+
 class TestCli:
     def test_list(self, capsys):
         assert main(["list"]) == 0
@@ -58,7 +115,7 @@ class TestCli:
     def test_simulate_with_trace(self, capsys):
         code = main([
             "simulate", "SPEC-CC", "--trace", "--trace-cycles", "200",
-            "--trace-width", "40",
+            "--trace-width", "40", "--no-store",
         ])
         assert code == 0
         out = capsys.readouterr().out
@@ -66,15 +123,22 @@ class TestCli:
         assert "#" in out  # the timeline
 
     def test_simulate_with_prefetch(self, capsys):
-        assert main(["simulate", "SPEC-CC", "--prefetch"]) == 0
+        assert main(["simulate", "SPEC-CC", "--prefetch",
+                     "--no-store"]) == 0
         assert "VERIFIED" in capsys.readouterr().out
 
     def test_experiment_table1_with_json(self, capsys, tmp_path):
         target = str(tmp_path / "t1.json")
-        assert main(["experiment", "table1", "--json", target]) == 0
+        store = tmp_path / "store"
+        assert main(["experiment", "table1", "--json", target,
+                     "--store", str(store)]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out
+        assert "stored 2 experiment records" in out
         assert json.loads(open(target).read())["table1"]
+        lines = (store / "runs.jsonl").read_text().splitlines()
+        assert [json.loads(l)["app"] for l in lines] == \
+            ["SPEC-BFS", "COOR-BFS"]
 
     def test_dse(self, capsys):
         code = main([

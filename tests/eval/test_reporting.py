@@ -75,6 +75,53 @@ class TestFormatting:
         assert series.utilizations() == [0.1, 0.2]
 
 
+class TestFormatterStructure:
+    """Every formatter renders a self-describing, line-oriented block."""
+
+    def test_table1_lists_paper_reference_column(self):
+        text = format_table1(_table1())
+        lines = text.splitlines()
+        assert lines[0].startswith("Table 1")
+        assert "paper" in lines[2]
+        assert "124.10" in text  # PAPER_TABLE1 OpenCL seconds
+        assert "264x" in text    # paper OpenCL/SPEC ratio
+
+    def test_figure9_header_carries_paper_bands(self):
+        result = Figure9Result(rows={
+            "SPEC-BFS": Figure9Row("SPEC-BFS", 0.001, 0.004, 0.0015, 0.2),
+            "COOR-LU": Figure9Row("COOR-LU", 0.002, 0.006, 0.0030, 0.1),
+        })
+        text = format_figure9(result)
+        assert "2.3-5.9x vs 1 core" in text
+        assert "0.5-1.9x vs 10 cores" in text
+        # One row per app, in insertion order.
+        rows = [l for l in text.splitlines()
+                if l.strip().startswith(("SPEC-", "COOR-"))]
+        assert [r.split()[0] for r in rows] == ["SPEC-BFS", "COOR-LU"]
+
+    def test_figure10_renders_three_lines_per_app(self):
+        series = Figure10Series("SPEC-BFS", points=[
+            Figure10Point(1.0, 1e-3, 1.00, 0.30, 0.01),
+            Figure10Point(8.0, 1.1e-3, 0.91, 0.35, 0.02),
+        ])
+        text = format_figure10({"SPEC-BFS": series})
+        lines = text.splitlines()
+        assert len(lines) == 1 + 3  # header + bandwidth/speedup/util
+        assert "bandwidth:" in lines[1] and "8x" in lines[1]
+        assert "speedup:" in lines[2] and "0.91" in lines[2]
+        assert "util:" in lines[3] and "0.350" in lines[3]
+
+    def test_resources_percentages(self):
+        rows = {
+            "A": ResourceRow("A", 4, 16, 0.05, 0.1, 0.2, 0.3),
+            "B": ResourceRow("B", 8, 64, 0.10, 0.4, 0.5, 0.6),
+        }
+        text = format_resources(rows)
+        assert "4.8-10%" in text  # the paper band in the header
+        assert "5.0%" in text and "10.0%" in text
+        assert text.index(" A ") < text.index(" B ")
+
+
 class TestSimStats:
     def test_utilization_definition(self):
         stats = SimStats(cycles=100, total_stages=10,

@@ -73,6 +73,51 @@ class TestMetrics:
         assert hist.count == 6
         assert hist.mean == pytest.approx(111 / 6)
 
+    def test_percentiles_interpolate_within_buckets(self):
+        hist = Histogram("h")
+        for _ in range(100):
+            hist.record(2)  # all land in bucket [2, 3]
+        assert hist.percentile(0.50) == pytest.approx(2.5)
+        assert 2.0 <= hist.percentile(0.99) <= 3.0
+
+    def test_percentiles_exact_for_zero_and_one(self):
+        hist = Histogram("h")
+        for _ in range(10):
+            hist.record(0)
+        assert hist.percentile(0.5) == 0.0
+        hist = Histogram("h")
+        for _ in range(10):
+            hist.record(1)
+        assert hist.percentile(0.99) == 1.0
+
+    def test_percentiles_split_bimodal_tail(self):
+        hist = Histogram("h")
+        for _ in range(90):
+            hist.record(1)
+        for _ in range(10):
+            hist.record(1024)
+        assert hist.percentile(0.50) == 1.0
+        assert 1024 <= hist.percentile(0.99) <= 2047
+        summary = hist.percentiles()
+        assert summary["p50"] <= summary["p95"] <= summary["p99"]
+
+    def test_percentile_edge_cases(self):
+        hist = Histogram("h")
+        assert hist.percentile(0.5) == 0.0  # empty
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_snapshot_surfaces_percentiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("mem.load_latency")
+        for value in (4, 8, 16, 32, 64):
+            hist.record(value)
+        snap = registry.snapshot()["histograms"]["mem.load_latency"]
+        assert {"p50", "p95", "p99"} <= set(snap)
+        assert snap["p50"] <= snap["p95"] <= snap["p99"] <= 127
+
     def test_cross_type_name_collision_rejected(self):
         registry = MetricsRegistry()
         registry.counter("x")
