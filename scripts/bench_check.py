@@ -11,10 +11,18 @@ Two checks, in increasing softness:
   speed cancels), and must not regress more than ``--tolerance``
   (default 20%) below the baseline's ratio for any app/profile.
 
+Sweep-engine results (``bench_smoke.py --sweep``) are gated the same
+way: per-point cycle counts and the warm-cache hit rate (must be 1.0)
+are exact, while the parallel/serial wall ratio — also same-host
+normalized, but noisier because it depends on free cores — must not
+fall more than ``--sweep-tolerance`` (default 35%) below the baseline.
+
 Usage::
 
     python scripts/bench_smoke.py --fast --output BENCH_sim.json
     python scripts/bench_check.py BENCH_sim.json BENCH_baseline.json
+    python scripts/bench_smoke.py --sweep --output BENCH_sweep.json
+    python scripts/bench_check.py BENCH_sweep.json BENCH_sweep_baseline.json
 """
 
 from __future__ import annotations
@@ -37,10 +45,47 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance", type=float, default=0.20,
         help="allowed fractional speedup regression (default 0.20)",
     )
+    parser.add_argument(
+        "--sweep-tolerance", type=float, default=0.35,
+        help="allowed fractional parallel-sweep speedup regression "
+             "(default 0.35)",
+    )
     args = parser.parse_args(argv)
 
     current, baseline = _load(args.current), _load(args.baseline)
     failures: list[str] = []
+
+    for tag, base_cycles in sorted(baseline.get("points", {}).items()):
+        cycles = current.get("points", {}).get(tag)
+        if cycles is None:
+            failures.append(f"points[{tag}]: missing from current result")
+        elif cycles != base_cycles:
+            failures.append(
+                f"points[{tag}]: cycle count drifted "
+                f"{cycles} != {base_cycles} (baseline)"
+            )
+
+    base_sweep = baseline.get("sweep")
+    if base_sweep:
+        sweep = current.get("sweep", {})
+        hit_rate = sweep.get("warm_cache", {}).get("hit_rate", 0.0)
+        if hit_rate < 1.0:
+            failures.append(
+                f"sweep: warm-cache hit rate {hit_rate:.2f} < 1.0"
+            )
+        floor = base_sweep["parallel_speedup"] * (1.0 - args.sweep_tolerance)
+        speedup = sweep.get("parallel_speedup", 0.0)
+        if speedup < floor:
+            failures.append(
+                f"sweep: parallel speedup regressed to {speedup:.2f}x "
+                f"(baseline {base_sweep['parallel_speedup']:.2f}x, "
+                f"floor {floor:.2f}x)"
+            )
+        else:
+            print(f"sweep: parallel {speedup:.2f}x, warm-cache hit rate "
+                  f"{hit_rate:.2f} (baseline "
+                  f"{base_sweep['parallel_speedup']:.2f}x, "
+                  f"floor {floor:.2f}x) — OK")
 
     for app, base_row in sorted(baseline.get("runs", {}).items()):
         row = current.get("runs", {}).get(app)

@@ -16,6 +16,14 @@ and the recorded ``speedup`` — the fast/dense cycles-per-second ratio —
 is machine-normalized, so ``scripts/bench_check.py`` can gate on it
 across heterogeneous CI hosts.  Exits non-zero if any run fails to
 verify.
+
+``--sweep`` benchmarks the sweep execution engine instead: a fixed
+app x bandwidth grid is run serially, through a 4-worker process pool,
+and again against a warm result cache, writing ``BENCH_sweep.json``
+(or ``--output``) with points/sec for each mode.  The three modes must
+agree on every cycle count (exit non-zero otherwise) and the warm run
+must hit the cache for every point; the parallel/serial wall ratio is
+machine-normalized the same way the fast-forward speedup is.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, "src")
@@ -35,6 +44,11 @@ from repro.substrates.graphs.generators import random_graph  # noqa: E402
 APPS = ("SPEC-BFS", "SPEC-SSSP")
 SEED = 7
 NODES, EDGES = 300, 900
+
+# The sweep-engine benchmark grid: both apps across a QPI-bandwidth
+# ladder, sized so per-point simulation dominates pool startup.
+SWEEP_BANDWIDTHS = (0.5, 1.0, 2.0, 4.0)
+SWEEP_JOBS = 4
 
 # The fast-forward comparison profiles: the stock platform, and a
 # bandwidth-starved one where the accelerator spends most cycles waiting
@@ -70,14 +84,104 @@ def run_once(app: str, platform, *, fast: bool) -> dict:
     }
 
 
+def sweep_jobs() -> list:
+    from repro.exec import GraphAppSource, SimJob
+
+    return [
+        SimJob(
+            source=GraphAppSource(
+                app, NODES, EDGES, seed=SEED,
+                start=0 if app == "SPEC-BFS" else None,
+            ),
+            platform=EVAL_HARP.scaled(bandwidth),
+            tag=f"{app}@{bandwidth:g}x",
+        )
+        for app in APPS
+        for bandwidth in SWEEP_BANDWIDTHS
+    ]
+
+
+def run_sweep_bench(output: str) -> int:
+    from repro.exec import ResultCache, SweepRunner
+
+    jobs = sweep_jobs()
+
+    def timed(runner) -> tuple[list, float]:
+        started = time.perf_counter()
+        outcomes = runner.run(jobs)
+        return outcomes, time.perf_counter() - started
+
+    serial, serial_wall = timed(SweepRunner(jobs=1))
+    parallel, parallel_wall = timed(SweepRunner(jobs=SWEEP_JOBS))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        for job, outcome in zip(jobs, parallel):
+            cache.put(job.digest(), outcome)
+        warm_runner = SweepRunner(jobs=1, cache=ResultCache(tmp))
+        warm, warm_wall = timed(warm_runner)
+
+    for mode, outcomes in (("parallel", parallel), ("warm-cache", warm)):
+        for job, base, got in zip(jobs, serial, outcomes):
+            if got.cycles != base.cycles:
+                print(f"FAIL {job.tag} [{mode}]: cycle count diverged "
+                      f"({got.cycles} != {base.cycles})", file=sys.stderr)
+                return 1
+    if warm_runner.report.hits != len(jobs):
+        print(f"FAIL warm-cache: {warm_runner.report.hits}/{len(jobs)} "
+              f"points hit the cache", file=sys.stderr)
+        return 1
+
+    def mode_row(wall: float) -> dict:
+        return {
+            "wall_seconds": round(wall, 3),
+            "points_per_sec": round(len(jobs) / wall, 3) if wall else 0.0,
+        }
+
+    speedup = serial_wall / parallel_wall if parallel_wall else 0.0
+    payload = {
+        "seed": SEED,
+        "graph": {"nodes": NODES, "edges": EDGES},
+        "points": {job.tag: outcome.cycles
+                   for job, outcome in zip(jobs, serial)},
+        "sweep": {
+            "n_points": len(jobs),
+            "workers": SWEEP_JOBS,
+            "serial": mode_row(serial_wall),
+            "parallel": mode_row(parallel_wall),
+            "warm_cache": {**mode_row(warm_wall),
+                           "hit_rate": warm_runner.report.hit_rate},
+            "parallel_speedup": round(speedup, 3),
+        },
+    }
+    print(f"sweep: {len(jobs)} points — serial {serial_wall:.2f}s, "
+          f"parallel({SWEEP_JOBS}) {parallel_wall:.2f}s "
+          f"({speedup:.2f}x), warm cache {warm_wall:.2f}s "
+          f"({warm_runner.report.hits}/{len(jobs)} hits) — CYCLE-EXACT")
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--output", default="BENCH_sim.json")
+    parser.add_argument("--output", default=None)
     parser.add_argument(
         "--fast", action="store_true",
         help="also compare dense vs fast-forward runs per profile",
     )
+    parser.add_argument(
+        "--sweep", action="store_true",
+        help="benchmark the sweep engine (serial vs parallel vs "
+             "warm-cache) instead of the simulator itself",
+    )
     args = parser.parse_args(argv)
+
+    if args.sweep:
+        return run_sweep_bench(args.output or "BENCH_sweep.json")
+    args.output = args.output or "BENCH_sim.json"
 
     runs = {}
     for app in APPS:

@@ -142,6 +142,30 @@ def _add_store_options(parser: argparse.ArgumentParser) -> None:
                         help="do not record this run in the run store")
 
 
+def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep points "
+                             "(default 1 = in-process)")
+    parser.add_argument("--cache", action=argparse.BooleanOptionalAction,
+                        default=True,
+                        help="reuse cached results for already-simulated "
+                             "sweep points (--no-cache forces "
+                             "re-simulation; cache file lives in the "
+                             "--store directory)")
+
+
+def _runner_from_args(args: argparse.Namespace, *, strict: bool = True,
+                      retries: int = 1):
+    """A :class:`~repro.exec.SweepRunner` configured from CLI flags."""
+    from repro.exec import ResultCache, SweepRunner
+
+    cache = None
+    if getattr(args, "cache", True):
+        cache = ResultCache(getattr(args, "store", DEFAULT_STORE_DIR))
+    return SweepRunner(jobs=getattr(args, "jobs", 1), cache=cache,
+                       strict=strict, retries=retries)
+
+
 def _resolve_run_ref(store: RunStore, ref: str):
     """A store run id, or ``golden:PATH`` for a golden fixture file."""
     if ref.startswith("golden:"):
@@ -306,70 +330,100 @@ def cmd_fault_campaign(args: argparse.Namespace) -> int:
     checkpoint/rollback recovery.  The summary is byte-identical across
     repeated invocations with the same seed.
     """
-    from repro.errors import RecoveryExhaustedError
     from repro.eval.platforms import HARP
-    from repro.sim.accelerator import run_resilient
+    from repro.exec import CliAppSource, FaultSpec, SimJob
+    from repro.obs.runstore import record_from_outcome
     from repro.sim.stats import SimStats
 
     config = SimConfig()
     store = _store_from_args(args)
+    # Campaign failures (recovery exhaustion) are expected outcomes, and
+    # deterministic — retrying would only re-derive them.  Sweep/cache
+    # reports go to stderr so the campaign's stdout stays byte-identical
+    # across repeated seeded invocations (CI diffs it).
+    runner = _runner_from_args(args, strict=False, retries=0)
     all_ok = True
     runs: list[dict] = []
     aggregate = SimStats()
     print(f"fault campaign: seed={args.seed} trials={args.trials} "
           f"intensity={args.intensity}")
-    for app in args.apps:
-        spec = _default_spec(app)
-        baseline = AcceleratorSim(spec, config=config).run(verify=False)
-        for trial in range(args.trials):
-            faults = _build_fault_plan(
-                spec, config, args.seed + trial,
-                baseline.cycles, args.intensity,
-            )
-            try:
-                res = run_resilient(
-                    spec, config=config, faults=faults,
-                    check_interval=args.check_interval,
-                    checkpoint_interval=args.checkpoint_interval,
-                )
-            except RecoveryExhaustedError as exc:
-                all_ok = False
-                print(f"  {app:10s} trial={trial} — FAILED: {exc}")
-                continue
-            stats = res.result.stats
-            aggregate = aggregate.merge(stats)
-            if store is not None:
-                # Silent append: the campaign's stdout stays byte-
-                # identical across repeated seeded invocations.
-                store.append(record_from_result(
-                    "fault-campaign", spec, res.result,
-                    platform=HARP, config=config, seed=args.seed + trial,
-                    extra={"trial": trial,
-                           "baseline_cycles": baseline.cycles,
-                           "rollbacks": res.rollbacks,
-                           "degradations": res.degradations},
-                ))
-            runs.append({
-                "app": app,
-                "trial": trial,
-                "seed": args.seed + trial,
-                "cycles": res.result.cycles,
-                "baseline_cycles": baseline.cycles,
-                "rollbacks": res.rollbacks,
-                "metrics": res.result.metrics.snapshot(),
-            })
-            print(f"  {app:10s} trial={trial} "
-                  f"injected={stats.faults_injected} "
-                  f"dropped={stats.events_dropped} "
-                  f"duplicated={stats.events_duplicated} "
-                  f"rollbacks={res.rollbacks} "
-                  f"degradations={res.degradations} "
-                  f"attempts={res.attempts} "
-                  f"cycles={res.result.cycles} "
-                  f"(baseline {baseline.cycles}) — VERIFIED")
-            for failure in res.failures:
-                print(f"    recovered@{failure.cycle}: "
-                      f"{type(failure.error).__name__}: {failure.error}")
+
+    baseline_jobs = [
+        SimJob(source=CliAppSource(app), platform=HARP, config=config,
+               verify=False, tag=f"campaign-baseline:{app}")
+        for app in args.apps
+    ]
+    baselines = runner.run(baseline_jobs)
+    print(runner.report.summary(), file=sys.stderr)
+    for app, baseline in zip(args.apps, baselines):
+        if baseline.error:
+            print(f"  {app:10s} baseline — FAILED: {baseline.error}")
+            all_ok = False
+
+    grid = [
+        (app, trial, baseline)
+        for app, baseline in zip(args.apps, baselines)
+        if not baseline.error
+        for trial in range(args.trials)
+    ]
+    trial_jobs = [
+        SimJob(
+            source=CliAppSource(app),
+            platform=HARP,
+            config=config,
+            fault=FaultSpec(seed=args.seed + trial,
+                            horizon=baseline.cycles,
+                            intensity=args.intensity),
+            resilient=True,
+            check_interval=args.check_interval,
+            checkpoint_interval=args.checkpoint_interval,
+            seed=args.seed + trial,
+            tag=f"campaign:{app}#{trial}",
+        )
+        for app, trial, baseline in grid
+    ]
+    outcomes = runner.run(trial_jobs)
+    print(runner.report.summary(), file=sys.stderr)
+
+    for (app, trial, baseline), outcome in zip(grid, outcomes):
+        if outcome.error:
+            all_ok = False
+            print(f"  {app:10s} trial={trial} — FAILED: {outcome.error}")
+            continue
+        stats = SimStats(**outcome.stats)
+        aggregate = aggregate.merge(stats)
+        res = outcome.resilient or {}
+        if store is not None:
+            # Silent append: see the stdout note above.
+            store.append(record_from_outcome(
+                "fault-campaign", outcome,
+                platform=HARP, config=config, seed=args.seed + trial,
+                extra={"trial": trial,
+                       "baseline_cycles": baseline.cycles,
+                       "rollbacks": res.get("rollbacks", 0),
+                       "degradations": res.get("degradations", 0)},
+            ))
+        runs.append({
+            "app": app,
+            "trial": trial,
+            "seed": args.seed + trial,
+            "cycles": outcome.cycles,
+            "baseline_cycles": baseline.cycles,
+            "rollbacks": res.get("rollbacks", 0),
+            "metrics": outcome.metrics,
+        })
+        print(f"  {app:10s} trial={trial} "
+              f"injected={stats.faults_injected} "
+              f"dropped={stats.events_dropped} "
+              f"duplicated={stats.events_duplicated} "
+              f"rollbacks={res.get('rollbacks', 0)} "
+              f"degradations={res.get('degradations', 0)} "
+              f"attempts={res.get('attempts', 1)} "
+              f"cycles={outcome.cycles} "
+              f"(baseline {baseline.cycles}) — VERIFIED")
+        for failure in res.get("failures", []):
+            print(f"    recovered@{failure['cycle']}: "
+                  f"{failure['error']}")
     if args.metrics_out:
         from dataclasses import asdict
 
@@ -395,17 +449,28 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
     kind = args.kind
     exported = {}
+    apps = tuple(args.apps) if args.apps else None
     if kind == "table1":
         result = experiments.run_table1()
         print(reporting.format_table1(result))
         exported["table1"] = result
     elif kind == "figure9":
-        result = experiments.run_figure9(scale=args.scale)
+        runner = _runner_from_args(args)
+        result = experiments.run_figure9(
+            scale=args.scale, runner=runner,
+            **({"apps": apps} if apps else {}),
+        )
         print(reporting.format_figure9(result))
+        print(runner.report.summary())
         exported["figure9"] = result
     elif kind == "figure10":
-        result = experiments.run_figure10(scale=args.scale)
+        runner = _runner_from_args(args)
+        result = experiments.run_figure10(
+            scale=args.scale, runner=runner,
+            **({"apps": apps} if apps else {}),
+        )
         print(reporting.format_figure10(result))
+        print(runner.report.summary())
         exported["figure10"] = result
     elif kind == "resources":
         result = experiments.run_resources(scale=min(args.scale, 0.5))
@@ -508,16 +573,21 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
 
 
 def cmd_dse(args: argparse.Namespace) -> int:
+    from repro.exec import CliAppSource
     from repro.synthesis.dse import explore, format_frontier
 
     spec_builder = lambda: _default_spec(args.app)  # noqa: E731
+    runner = _runner_from_args(args)
     result = explore(
         spec_builder,
         replica_options=tuple(args.replicas),
         lane_options=tuple(args.lanes),
         platform=EVAL_HARP,
+        runner=runner,
+        spec_source=CliAppSource(args.app),
     )
     print(format_frontier(result))
+    print(runner.report.summary())
     best = result.best_performance()
     print(f"best performance: {best.label} at {best.cycles} cycles")
     return 0
@@ -626,6 +696,7 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--intensity", type=float, default=1.0)
     campaign.add_argument("--check-interval", type=int, default=2048)
     campaign.add_argument("--checkpoint-interval", type=int, default=5000)
+    _add_sweep_options(campaign)
     campaign.add_argument("--metrics-out", metavar="FILE",
                           help="write per-run metric snapshots plus the "
                                "merged aggregate as JSON")
@@ -638,6 +709,10 @@ def build_parser() -> argparse.ArgumentParser:
         "kind", choices=("table1", "figure9", "figure10", "resources")
     )
     experiment.add_argument("--scale", type=float, default=1.0)
+    experiment.add_argument("--apps", nargs="+", metavar="APP",
+                            help="restrict figure9/figure10 to these "
+                                 "benchmarks (default: all six)")
+    _add_sweep_options(experiment)
     experiment.add_argument("--json", help="also export results to JSON")
     _add_store_options(experiment)
     experiment.set_defaults(handler=cmd_experiment)
@@ -692,6 +767,10 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("app")
     dse.add_argument("--replicas", type=int, nargs="+", default=[1, 2, 4])
     dse.add_argument("--lanes", type=int, nargs="+", default=[16, 64])
+    dse.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR",
+                     help="directory holding the result cache "
+                          "(default .repro)")
+    _add_sweep_options(dse)
     dse.set_defaults(handler=cmd_dse)
 
     return parser

@@ -19,7 +19,7 @@ from repro.core.indexing import TaskIndex
 from repro.errors import SchedulingError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class EventPattern:
     """One event alternative an ON clause listens for."""
 
@@ -34,7 +34,7 @@ class EventPattern:
 Condition = Callable[[Event, Mapping[str, Any]], Any]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ClauseSpec:
     """A compiled ON/IF/DO clause."""
 
@@ -106,7 +106,7 @@ class RuleVerdict(enum.Enum):
     OTHERWISE = "otherwise"   # the minimum-waiting-task escape fired
 
 
-@dataclass
+@dataclass(slots=True)
 class RuleInstance:
     """A live rule occupying a lane: bound params plus accumulated state."""
 
@@ -143,6 +143,33 @@ class RuleInstance:
         if self.rule_type.requires and self.satisfied >= set(
             self.rule_type.requires
         ):
+            self._finish(True, RuleVerdict.REQUIRES)
+        return self.value
+
+    def observe_triggered(
+        self,
+        event: Event,
+        clauses: list[ClauseSpec],
+        requires: frozenset[str],
+    ) -> bool | None:
+        """:meth:`observe` with the event-independent work hoisted out.
+
+        ``clauses`` must be the declaration-order subset of this rule
+        type's clauses whose patterns match ``event`` and ``requires`` the
+        precomputed flag set — the event bus computes both once per
+        broadcast instead of once per lane.
+        """
+        if self.value is not None:
+            return self.value
+        for clause in clauses:
+            if not clause.condition_holds(event, self.arguments):
+                continue
+            kind, payload = clause.action
+            if kind == "return":
+                self._finish(bool(payload), RuleVerdict.CLAUSE)
+                return self.value
+            self.satisfied.add(payload)
+        if requires and self.satisfied >= requires:
             self._finish(True, RuleVerdict.REQUIRES)
         return self.value
 

@@ -22,11 +22,33 @@ from dataclasses import dataclass, field
 from repro.cpu.timing import parallel_seconds, sequential_seconds
 from repro.eval.platforms import EVAL_HARP, EVAL_XEON, HarpPlatform
 from repro.eval.workloads import APP_NAMES, Workload, default_workloads
+from repro.exec import CallableSource, SimJob, SweepRunner
 from repro.hls_baseline.opencl_model import OpenClBfsModel
 from repro.sim.accelerator import SimConfig, simulate_app
 from repro.substrates.graphs.generators import road_network
 from repro.synthesis.resources import estimate_datapath
 from repro.synthesis.tuning import build_tuned_datapath
+
+
+def _sweep_job(
+    workload: Workload,
+    platform: HarpPlatform,
+    config: SimConfig | None,
+    tag: str,
+) -> SimJob:
+    """One figure-sweep point as a runner job.
+
+    Workloads that predate the declarative sources (``source=None``) fall
+    back to wrapping their builder — still correct, but uncacheable and
+    executed in-process by the runner.
+    """
+    return SimJob(
+        source=workload.source or CallableSource(workload.build_spec),
+        platform=platform,
+        config=config or workload.config,
+        replicas=workload.replicas,
+        tag=tag,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -118,23 +140,26 @@ def run_figure9(
     apps: tuple[str, ...] = APP_NAMES,
     config: SimConfig | None = None,
     workloads: dict[str, Workload] | None = None,
+    runner: SweepRunner | None = None,
 ) -> Figure9Result:
     """Reproduce Figure 9: accelerator vs Xeon software counterparts."""
     workloads = workloads or default_workloads(scale)
+    runner = runner or SweepRunner()
+    jobs = [
+        _sweep_job(workloads[app], EVAL_HARP, config, tag=f"fig9:{app}")
+        for app in apps
+    ]
+    outcomes = runner.run(jobs)
     result = Figure9Result()
-    for app in apps:
+    for app, outcome in zip(apps, outcomes):
         workload = workloads[app]
-        sim = simulate_app(
-            workload.build_spec(), platform=EVAL_HARP,
-            config=config or workload.config, replicas=workload.replicas,
-        )
         result.rows[app] = Figure9Row(
             app=app,
-            accel_seconds=sim.seconds,
+            accel_seconds=outcome.seconds,
             sequential_seconds=sequential_seconds(workload.profile,
                                                   EVAL_XEON),
             parallel_seconds=parallel_seconds(workload.profile, EVAL_XEON),
-            utilization=sim.utilization,
+            utilization=outcome.utilization,
         )
     return result
 
@@ -170,31 +195,37 @@ def run_figure10(
     bandwidth_scales: tuple[float, ...] = (1.0, 2.0, 4.0, 8.0),
     config: SimConfig | None = None,
     workloads: dict[str, Workload] | None = None,
+    runner: SweepRunner | None = None,
 ) -> dict[str, Figure10Series]:
-    """Reproduce Figure 10: the QPI-bandwidth-scaling emulator sweep."""
+    """Reproduce Figure 10: the QPI-bandwidth-scaling emulator sweep.
+
+    The full app x bandwidth grid is submitted as one batch so a parallel
+    runner can overlap every point; results come back in input order, so
+    the series (and the baseline-relative speedups) are identical to the
+    serial loop this replaced.
+    """
     workloads = workloads or default_workloads(scale)
+    runner = runner or SweepRunner()
+    grid = [(app, factor) for app in apps for factor in bandwidth_scales]
+    jobs = [
+        _sweep_job(workloads[app], EVAL_HARP.scaled(factor), config,
+                   tag=f"fig10:{app}@{factor:g}x")
+        for app, factor in grid
+    ]
+    outcomes = runner.run(jobs)
     results: dict[str, Figure10Series] = {}
-    for app in apps:
-        workload = workloads[app]
-        series = Figure10Series(app)
-        baseline_seconds: float | None = None
-        for factor in bandwidth_scales:
-            platform = EVAL_HARP.scaled(factor)
-            sim = simulate_app(
-                workload.build_spec(), platform=platform,
-                config=config or workload.config,
-                replicas=workload.replicas,
-            )
-            if baseline_seconds is None:
-                baseline_seconds = sim.seconds
-            series.points.append(Figure10Point(
-                bandwidth_scale=factor,
-                seconds=sim.seconds,
-                speedup_over_baseline=baseline_seconds / sim.seconds,
-                utilization=sim.utilization,
-                squash_fraction=sim.squash_fraction,
-            ))
-        results[app] = series
+    for (app, factor), outcome in zip(grid, outcomes):
+        series = results.setdefault(app, Figure10Series(app))
+        baseline_seconds = (
+            series.points[0].seconds if series.points else outcome.seconds
+        )
+        series.points.append(Figure10Point(
+            bandwidth_scale=factor,
+            seconds=outcome.seconds,
+            speedup_over_baseline=baseline_seconds / outcome.seconds,
+            utilization=outcome.utilization,
+            squash_fraction=outcome.squash_fraction,
+        ))
     return results
 
 

@@ -25,6 +25,7 @@ from typing import Any, Callable
 
 from repro.apps.registry import build_app
 from repro.core.spec import ApplicationSpec
+from repro.exec.job import WorkloadSource
 from repro.cpu.counters import (
     WorkloadProfile,
     bfs_profile,
@@ -64,6 +65,9 @@ class Workload:
     params: dict[str, Any]
     config: SimConfig = field(default_factory=SimConfig)
     replicas: dict[str, int] | None = None
+    # Declarative, picklable recipe for spec_builder (same spec, rebuilt
+    # inside a pool worker); None means this workload only runs in-process.
+    source: Any = None
 
     def build_spec(self) -> ApplicationSpec:
         return self.spec_builder()
@@ -87,6 +91,7 @@ def default_workloads(scale: float = 1.0) -> dict[str, Workload]:
             {"graph": f"rmat 2^{rmat_scale}"},
             config=WIDE_CONFIG,
             replicas={"visit": 4, "update": 2},
+            source=WorkloadSource("SPEC-BFS", "default", s),
         ),
         "COOR-BFS": Workload(
             "COOR-BFS",
@@ -95,6 +100,7 @@ def default_workloads(scale: float = 1.0) -> dict[str, Workload]:
             {"graph": f"rmat 2^{rmat_scale}"},
             config=WIDE_CONFIG,
             replicas={"visit": 4},
+            source=WorkloadSource("COOR-BFS", "default", s),
         ),
         "SPEC-SSSP": Workload(
             "SPEC-SSSP",
@@ -103,6 +109,7 @@ def default_workloads(scale: float = 1.0) -> dict[str, Workload]:
             {"graph": f"rmat 2^{rmat_scale}"},
             config=WIDE_CONFIG,
             replicas={"relax": 4},
+            source=WorkloadSource("SPEC-SSSP", "default", s),
         ),
         "SPEC-MST": Workload(
             "SPEC-MST",
@@ -111,6 +118,7 @@ def default_workloads(scale: float = 1.0) -> dict[str, Workload]:
             {"graph": f"random {mst_graph.num_vertices}v"},
             config=ORDERED_CONFIG,
             replicas={"mstedge": 2},
+            source=WorkloadSource("SPEC-MST", "default", s),
         ),
         "SPEC-DMR": Workload(
             "SPEC-DMR",
@@ -119,6 +127,7 @@ def default_workloads(scale: float = 1.0) -> dict[str, Workload]:
             {"points": dmr_points},
             config=ORDERED_CONFIG,
             replicas={"refine": 2},
+            source=WorkloadSource("SPEC-DMR", "default", s),
         ),
         "COOR-LU": Workload(
             "COOR-LU",
@@ -130,6 +139,7 @@ def default_workloads(scale: float = 1.0) -> dict[str, Workload]:
             {"grid": lu_grid, "block": lu_block},
             config=ORDERED_CONFIG,
             replicas={"lutask": 2},
+            source=WorkloadSource("COOR-LU", "default", s),
         ),
     }
 
@@ -144,17 +154,20 @@ def road_workloads(scale: float = 1.0) -> dict[str, Workload]:
             lambda: build_app("SPEC-BFS", road, 0),
             bfs_profile(road, 0),
             {"graph": "road"},
+            source=WorkloadSource("SPEC-BFS", "road", s),
         ),
         "COOR-BFS": Workload(
             "COOR-BFS",
             lambda: build_app("COOR-BFS", road, 0),
             bfs_profile(road, 0),
             {"graph": "road"},
+            source=WorkloadSource("COOR-BFS", "road", s),
         ),
         "SPEC-SSSP": Workload(
             "SPEC-SSSP",
             lambda: build_app("SPEC-SSSP", road, 0),
             sssp_profile(road, 0),
             {"graph": "road"},
+            source=WorkloadSource("SPEC-SSSP", "road", s),
         ),
     }

@@ -1,0 +1,42 @@
+"""Sweep execution engine: parallel simulation jobs with result caching.
+
+Every multi-point evaluation in the repo (figure sweeps, DSE grids,
+fault campaigns) reduces to running many independent cycle-level
+simulations.  This package gives them one execution path:
+
+* :class:`~repro.exec.job.SimJob` — a picklable, digestable description
+  of one simulation (input source, platform, config, fault plan, mode);
+* :class:`~repro.exec.cache.ResultCache` — a digest-keyed JSONL cache so
+  re-running a sweep never re-simulates a point it already has;
+* :class:`~repro.exec.runner.SweepRunner` — serial or process-pool
+  execution with deterministic input-order results, per-job timeout,
+  one retry, and cache hit/miss reporting.
+"""
+
+from repro.exec.cache import ResultCache
+from repro.exec.job import (
+    CallableSource,
+    CliAppSource,
+    FaultSpec,
+    GraphAppSource,
+    JobOutcome,
+    SimJob,
+    WorkloadSource,
+    execute_job,
+)
+from repro.exec.runner import SweepError, SweepReport, SweepRunner
+
+__all__ = [
+    "CallableSource",
+    "CliAppSource",
+    "FaultSpec",
+    "GraphAppSource",
+    "JobOutcome",
+    "ResultCache",
+    "SimJob",
+    "SweepError",
+    "SweepReport",
+    "SweepRunner",
+    "WorkloadSource",
+    "execute_job",
+]

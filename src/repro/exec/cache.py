@@ -1,0 +1,97 @@
+"""Digest-keyed result cache: never simulate the same point twice.
+
+An append-only JSONL file living alongside the run store
+(``.repro/simcache.jsonl`` by default).  Each line is one successful
+:class:`~repro.exec.job.JobOutcome` keyed by its job's content digest;
+re-running a sweep looks every point up first and only simulates the
+misses.  The file format mirrors the run store's robustness rules:
+corrupt lines and newer-schema entries are skipped on read, never
+fatal, and each entry is a single one-line ``write`` so concurrent
+appends never interleave.
+
+Invalidation is purely key-based: the digest covers every input that
+can change a simulation's outcome (source, platform, config, replicas,
+fault spec, execution mode) plus :data:`~repro.exec.job.JOB_SCHEMA`,
+which is bumped whenever the executor's behaviour changes — so stale
+entries are simply never looked up again and need no eviction pass.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exec.job import JOB_SCHEMA, JobOutcome
+
+DEFAULT_CACHE_DIR = ".repro"
+CACHE_FILENAME = "simcache.jsonl"
+
+
+class ResultCache:
+    """Append-only digest -> :class:`JobOutcome` store."""
+
+    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+        self.root = Path(root)
+        self.path = self.root / CACHE_FILENAME
+        self._entries: dict[str, dict] | None = None
+
+    def _load(self) -> dict[str, dict]:
+        if self._entries is not None:
+            return self._entries
+        entries: dict[str, dict] = {}
+        if self.path.exists():
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        data = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue
+                    if not isinstance(data, dict):
+                        continue
+                    if data.get("schema") != JOB_SCHEMA:
+                        continue
+                    digest = data.get("digest")
+                    outcome = data.get("outcome")
+                    if isinstance(digest, str) and isinstance(outcome, dict):
+                        entries[digest] = outcome  # last write wins
+        self._entries = entries
+        return entries
+
+    def __len__(self) -> int:
+        return len(self._load())
+
+    def get(self, digest: str | None) -> JobOutcome | None:
+        """The stored outcome for ``digest`` (a fresh object), or None."""
+        if digest is None:
+            return None
+        data = self._load().get(digest)
+        if data is None:
+            return None
+        try:
+            return JobOutcome.from_dict(data)
+        except TypeError:
+            return None
+
+    def put(self, digest: str | None, outcome: JobOutcome) -> bool:
+        """Persist a successful outcome; returns True when stored.
+
+        Failed outcomes are never cached — an error (timeout, broken
+        worker, transient fault) must not masquerade as a result on the
+        next run.
+        """
+        if digest is None or outcome.error:
+            return False
+        entry = {
+            "schema": JOB_SCHEMA,
+            "digest": digest,
+            "outcome": outcome.to_dict(),
+        }
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(entry, sort_keys=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        self._load()[digest] = entry["outcome"]
+        return True

@@ -1,0 +1,234 @@
+"""The sweep runner: serial or process-pool execution of SimJobs.
+
+Guarantees, independent of ``jobs``:
+
+* **Deterministic ordering** — results come back in input order, never
+  completion order, so a parallel sweep is byte-identical to a serial
+  one.
+* **Graceful degradation** — ``jobs=1``, a single pending point, or an
+  unpicklable job all run in-process with no pool; a broken pool falls
+  back to in-process execution for the affected points.
+* **Bounded failures** — each job gets a wall-clock budget (enforced by
+  ``SIGALRM`` inside the worker, since a running pool future cannot be
+  cancelled) and one retry; errors are folded into the outcome and, in
+  strict mode, raised once as a :class:`SweepError` after every point
+  has been collected.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+import signal
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exec.cache import ResultCache
+from repro.exec.job import JobOutcome, JobTimeoutError, SimJob, execute_job
+
+
+def run_job_with_timeout(job: SimJob, timeout: float | None) -> JobOutcome:
+    """Pool entry point: one job under an optional SIGALRM budget."""
+    if not timeout or timeout <= 0 or not hasattr(signal, "SIGALRM"):
+        return execute_job(job)
+
+    def _expired(signum, frame):
+        raise JobTimeoutError(
+            f"job {job.app!r} exceeded {timeout:.0f}s"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(max(1, int(timeout)))
+    try:
+        return execute_job(job)
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+class SweepError(RuntimeError):
+    """One or more sweep points failed (strict mode)."""
+
+
+@dataclass
+class SweepReport:
+    """What one :meth:`SweepRunner.run` call did."""
+
+    points: int = 0
+    hits: int = 0
+    executed: int = 0
+    retried: int = 0
+    errors: int = 0
+    jobs: int = 1
+    wall_seconds: float = 0.0
+    fallback: str = ""   # why a parallel request ran in-process, if it did
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.points if self.points else 0.0
+
+    def summary(self) -> str:
+        text = (f"sweep: {self.points} points, {self.hits} cache hits, "
+                f"{self.executed} simulated, jobs={self.jobs}, "
+                f"{self.wall_seconds:.2f}s")
+        if self.retried:
+            text += f", {self.retried} retried"
+        if self.errors:
+            text += f", {self.errors} FAILED"
+        if self.fallback:
+            text += f" (in-process: {self.fallback})"
+        return text
+
+
+class SweepRunner:
+    """Execute batches of :class:`SimJob` with caching and parallelism."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+        timeout: float | None = None,
+        retries: int = 1,
+        strict: bool = True,
+    ) -> None:
+        self.jobs = max(1, jobs)
+        self.cache = cache
+        self.timeout = timeout
+        self.retries = max(0, retries)
+        self.strict = strict
+        self.report = SweepReport()
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, sim_jobs: Sequence[SimJob]) -> list[JobOutcome]:
+        """All outcomes, in input order."""
+        jobs = list(sim_jobs)
+        report = self.report = SweepReport(points=len(jobs), jobs=self.jobs)
+        start = time.perf_counter()
+        results: list[JobOutcome | None] = [None] * len(jobs)
+        digests = [job.digest() for job in jobs]
+
+        pending: list[int] = []
+        for index, job in enumerate(jobs):
+            hit = self.cache.get(digests[index]) if self.cache else None
+            if hit is not None:
+                hit.cached = True
+                results[index] = hit
+                report.hits += 1
+            else:
+                pending.append(index)
+        report.executed = len(pending)
+
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                reason = self._unpicklable(jobs, pending)
+                if reason:
+                    report.fallback = reason
+                    executed = self._run_serial(jobs, pending)
+                else:
+                    executed = self._run_pool(jobs, pending)
+            else:
+                executed = self._run_serial(jobs, pending)
+            for index in pending:
+                results[index] = executed[index]
+            # Store in input order so the cache file is deterministic too.
+            if self.cache is not None:
+                for index in pending:
+                    self.cache.put(digests[index], executed[index])
+
+        outcomes = [
+            outcome if outcome is not None else JobOutcome(
+                app=jobs[i].app, error="InternalError: job never completed"
+            )
+            for i, outcome in enumerate(results)
+        ]
+        report.errors = sum(1 for o in outcomes if o.error)
+        report.wall_seconds = round(time.perf_counter() - start, 6)
+        if self.strict and report.errors:
+            failures = [
+                f"{jobs[i].tag or o.app}: {o.error}"
+                for i, o in enumerate(outcomes) if o.error
+            ]
+            raise SweepError(
+                f"{report.errors} of {report.points} sweep points failed: "
+                + "; ".join(failures[:4])
+            )
+        return outcomes
+
+    # -- serial path ----------------------------------------------------------
+
+    def _attempt(self, job: SimJob) -> JobOutcome:
+        outcome = run_job_with_timeout(job, self.timeout)
+        for _ in range(self.retries):
+            if not outcome.error:
+                break
+            self.report.retried += 1
+            outcome = run_job_with_timeout(job, self.timeout)
+        return outcome
+
+    def _run_serial(
+        self, jobs: list[SimJob], pending: list[int]
+    ) -> dict[int, JobOutcome]:
+        return {index: self._attempt(jobs[index]) for index in pending}
+
+    # -- pool path ------------------------------------------------------------
+
+    @staticmethod
+    def _unpicklable(jobs: list[SimJob], pending: list[int]) -> str:
+        """Non-empty reason when any pending job cannot cross a fork."""
+        for index in pending:
+            try:
+                pickle.dumps(jobs[index])
+            except Exception as exc:   # noqa: BLE001 — reason only
+                return (f"job {jobs[index].app!r} is not picklable "
+                        f"({type(exc).__name__})")
+        return ""
+
+    def _run_pool(
+        self, jobs: list[SimJob], pending: list[int]
+    ) -> dict[int, JobOutcome]:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        out: dict[int, JobOutcome] = {}
+        attempts = dict.fromkeys(pending, 0)
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            remaining = {
+                pool.submit(run_job_with_timeout, jobs[i], self.timeout): i
+                for i in pending
+            }
+            while remaining:
+                done, _ = wait(remaining, return_when=FIRST_COMPLETED)
+                for future in done:
+                    index = remaining.pop(future)
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:   # worker died / pool broke
+                        outcome = JobOutcome(
+                            app=jobs[index].app,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+                    if outcome.error and attempts[index] < self.retries:
+                        attempts[index] += 1
+                        self.report.retried += 1
+                        try:
+                            retry = pool.submit(
+                                run_job_with_timeout, jobs[index],
+                                self.timeout,
+                            )
+                            remaining[retry] = index
+                            continue
+                        except Exception:   # pool unusable: run inline
+                            outcome = run_job_with_timeout(
+                                jobs[index], self.timeout
+                            )
+                    out[index] = outcome
+        return out

@@ -19,7 +19,13 @@ from repro.errors import SimulationError
 
 
 class Counter:
-    """A monotonically increasing integer."""
+    """A monotonically increasing integer.
+
+    ``value`` is public on purpose: per-cycle call sites add to it
+    directly (``counter.value += n``), skipping the method dispatch that
+    :meth:`inc` costs — profiled at ~8% of the dense cycle loop before
+    the change.  ``inc`` remains for everything off the hot path.
+    """
 
     __slots__ = ("name", "value")
 
@@ -114,6 +120,8 @@ class Histogram:
 
 class MetricsRegistry:
     """Get-or-create instrument store keyed by dotted metric names."""
+
+    __slots__ = ("counters", "gauges", "histograms")
 
     def __init__(self) -> None:
         self.counters: dict[str, Counter] = {}

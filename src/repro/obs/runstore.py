@@ -165,6 +165,48 @@ def record_from_result(
     )
 
 
+def record_from_outcome(
+    kind: str,
+    outcome,
+    *,
+    platform,
+    config,
+    seed: int | None = None,
+    extra: dict[str, Any] | None = None,
+) -> RunRecord:
+    """Reduce a :class:`~repro.exec.job.JobOutcome` to a record.
+
+    The sweep-runner counterpart of :func:`record_from_result`: outcomes
+    are plain data (they may have crossed a process boundary or come out
+    of the result cache), so everything a record needs is already a
+    field — no spec or live metrics registry required.
+    """
+    return RunRecord(
+        kind=kind,
+        app=outcome.app,
+        app_mode=outcome.app_mode,
+        host_fed=outcome.host_fed,
+        sim_mode="fast" if config.fast_forward else "dense",
+        cycles=outcome.cycles,
+        seconds=outcome.seconds,
+        utilization=outcome.utilization,
+        squash_fraction=outcome.squash_fraction,
+        verified=outcome.verified,
+        seed=seed,
+        wall_seconds=round(outcome.wall_seconds, 6),
+        platform=platform_to_dict(platform),
+        config=asdict(config),
+        config_digest=config_digest(config),
+        memory={
+            "bytes": outcome.memory_bytes,
+            "loads": outcome.memory_loads,
+            "hit_rate": round(outcome.memory_hit_rate, 6),
+        },
+        metrics=outcome.metrics,
+        extra=extra or {},
+    )
+
+
 class RunStore:
     """Append-only JSONL store of :class:`RunRecord` documents."""
 

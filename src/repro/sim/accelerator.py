@@ -60,12 +60,18 @@ class SimConfig:
     # Idle-cycle-skipping fast-forward core (cycle-exact; see
     # docs/simulator.md and sim/fastpath.py for the legality argument).
     fast_forward: bool = False
+    # Minimum-jump hysteresis: a projected skip shorter than this many
+    # cycles is not worth the wake-up probe's overhead, so the fast loop
+    # keeps stepping densely instead.  Cycle counts are unaffected either
+    # way — only which cycles are simulated vs replayed changes.
+    ff_min_jump: int = 8
 
     def __post_init__(self) -> None:
         for name in (
             "station_depth", "fifo_depth", "queue_banks",
             "queue_depth_per_bank", "rule_lanes",
             "minimum_broadcast_interval", "max_cycles", "deadlock_window",
+            "ff_min_jump",
         ):
             value = getattr(self, name)
             if not isinstance(value, int) or value <= 0:
@@ -198,6 +204,12 @@ class AcceleratorSim:
             s for s in self._stages if isinstance(s, CallStage)
         ]
         self._engine_list = list(self.engines.values())
+        # Bound methods, resolved once: the per-cycle loop is pure
+        # dispatch, with no attribute chasing.  Checkpoint deepcopies
+        # rebind these to the revived copies via the shared memo.
+        self._stage_ticks = [s.tick for s in self._stages]
+        self._fifo_commits = [f.commit for f in self._fifos]
+        self._queue_list = list(self.queues.values())
         # Fast-forward: `quiet` is cleared by every state-mutating action
         # inside a cycle; a cycle that ends quiet is provably a repeat.
         self.quiet = True
@@ -249,18 +261,23 @@ class AcceleratorSim:
     def _deliver_events(self) -> None:
         heap = self._event_heap
         engines = self._engine_list
-        while heap and heap[0][0] <= self.cycle:
-            _, _, event, source_uid = heapq.heappop(heap)
-            self.counters.events_delivered.inc()
+        pop = heapq.heappop
+        delivered = self.counters.events_delivered
+        cycle = self.cycle
+        while heap and heap[0][0] <= cycle:
+            _, _, event, source_uid = pop(heap)
+            delivered.value += 1
             self.quiet = False
             for engine in engines:
                 engine.deliver(event, source_uid)
 
     def _work_remaining(self) -> bool:
-        if any(len(q) for q in self.queues.values()):
-            return True
-        if any(p.busy() for p in self.pipelines):
-            return True
+        for queue in self._queue_list:
+            if len(queue):
+                return True
+        for pipeline in self.pipelines:
+            if pipeline.busy():
+                return True
         if self.host.busy() or not self.host.exhausted:
             return True
         if self._event_heap:
@@ -286,8 +303,8 @@ class AcceleratorSim:
         if self._event_heap:
             self._deliver_events()
         self.host.tick()
-        for stage in self._stages:
-            stage.tick()
+        for tick in self._stage_ticks:
+            tick()
         if self.cycle % self.config.minimum_broadcast_interval == 0:
             if self.spec.otherwise_scope == "global":
                 minimum = self.tracker.minimum()
@@ -302,9 +319,10 @@ class AcceleratorSim:
                         engine.min_allocated_index()
                     ):
                         self.quiet = False
-        for fifo in self._fifos:
-            fifo.commit()
-        self.counters.active_stage_cycles.inc(self.active_stages_this_cycle)
+        for commit in self._fifo_commits:
+            commit()
+        self.counters.active_stage_cycles.value += \
+            self.active_stages_this_cycle
         if self.active_stages_this_cycle or self.memory.pending(self.cycle):
             self._last_progress_cycle = self.cycle
         self.cycle += 1
@@ -343,7 +361,11 @@ class AcceleratorSim:
         while self._work_remaining():
             self.step()
             self._check_limits()
-            if self.quiet and self.active_stages_this_cycle == 0:
+            if (
+                self.quiet
+                and self.active_stages_this_cycle == 0
+                and self.cycle >= ff.probe_after
+            ):
                 target = ff.jump_target()
                 if target > self.cycle:
                     ff.skip_to(target)

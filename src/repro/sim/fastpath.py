@@ -55,6 +55,13 @@ class FastForwardScheduler:
         self.cycles_skipped = 0
         # Stall records of the current (probe) cycle: (stage, reason).
         self.cycle_stalls: list = []
+        # Declined-jump hold-off: no re-probe before this cycle.  While
+        # the machine stays quiescent the wake-up set is stationary, so a
+        # declined probe's answer holds for the whole declined gap; and
+        # if progress *does* happen, stepping densely until the hold-off
+        # expires is always legal — it only defers the next long jump by
+        # (at most) ff_min_jump cycles.
+        self.probe_after = 0
         # Optional jump journal for tests: (from_cycle, to_cycle, wake).
         self.log: list[tuple[int, int, int]] | None = None
 
@@ -128,6 +135,9 @@ class FastForwardScheduler:
 
         Clamped so the run loop's limit checks (max_cycles, the deadlock
         window) fire at exactly the same cycle they would in dense mode.
+        Jumps shorter than ``SimConfig.ff_min_jump`` are declined
+        (hysteresis): on short stalls the wake-up probe costs more than
+        densely stepping the gap, and dense stepping is always legal.
         """
         sim = self.sim
         wake = self.next_wakeup(sim.cycle - 1)
@@ -136,7 +146,10 @@ class FastForwardScheduler:
             sim._last_progress_cycle + sim.config.deadlock_window + 1,
         )
         target = min(max(wake, sim.cycle), cap)
-        if self.log is not None and target > sim.cycle:
+        if target - sim.cycle < sim.config.ff_min_jump:
+            self.probe_after = target
+            return sim.cycle
+        if self.log is not None:
             self.log.append((sim.cycle, target, wake))
         return target
 

@@ -18,6 +18,8 @@ T = TypeVar("T")
 class Fifo(Generic[T]):
     """Bounded FIFO with staged pushes."""
 
+    __slots__ = ("capacity", "name", "_items", "_staged")
+
     def __init__(self, capacity: int = 2, name: str = "") -> None:
         if capacity < 1:
             raise SimulationError("fifo capacity must be >= 1")

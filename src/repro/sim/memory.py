@@ -104,7 +104,7 @@ class Cache:
         return False
 
 
-@dataclass
+@dataclass(slots=True)
 class _Request:
     done_at: int
     nbytes: int

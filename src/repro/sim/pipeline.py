@@ -17,6 +17,8 @@ from repro.synthesis.datapath import StageProgram, StageSpec
 class SourceStage(Stage):
     """Queue pop port: turns workset entries into pipeline tokens."""
 
+    __slots__ = ("task_set",)
+
     def __init__(self, ctx, task_set: str, name: str) -> None:
         super().__init__(ctx, None, name)
         self.task_set = task_set

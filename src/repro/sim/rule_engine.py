@@ -31,7 +31,7 @@ class RuleEngineStats:
     fault_alloc_stalls: int = 0  # stalls charged to failed lanes
 
 
-@dataclass
+@dataclass(slots=True)
 class _Lane:
     instance: RuleInstance
     owner_uid: int
@@ -55,6 +55,12 @@ class RuleEngineSim:
         self.obs = obs  # Observability hooks (None = zero cost)
         self.lanes: dict[int, _Lane] = {}  # keyed by id(instance)
         self.stats = RuleEngineStats()
+        # Event-independent broadcast state, hoisted out of deliver():
+        # the clause list (patterns are static per rule type, so the
+        # triggered subset is a function of the event alone) and the
+        # requires-flag set every instance compares against.
+        self._clauses = tuple(rule_type.clauses)
+        self._requires = frozenset(rule_type.requires)
 
     # -- allocation ---------------------------------------------------------
 
@@ -123,12 +129,22 @@ class RuleEngineSim:
             if action == "dup":
                 self.stats.events_duplicated += 1
                 rounds = 2
+        # Filter clauses once per broadcast, not once per lane: patterns
+        # are static per rule type, so lanes only differ in conditions.
+        # A rule with pending requires-flags can only complete on a
+        # satisfy action, which needs a triggered clause — so an event
+        # that triggers nothing is a no-op for every lane.
+        triggered = [c for c in self._clauses if c.triggered_by(event)]
+        if not triggered:
+            return
+        requires = self._requires
         for _ in range(rounds):
             for lane in self.lanes.values():
                 if lane.owner_uid == source_uid:
                     continue
-                if not lane.instance.returned:
-                    lane.instance.observe(event)
+                instance = lane.instance
+                if instance.value is None:
+                    instance.observe_triggered(event, triggered, requires)
 
     def min_allocated_index(self) -> TaskIndex | None:
         """Minimum parent index over this engine's allocated lanes.

@@ -40,6 +40,9 @@ def _value(spec: Callable | int, env: dict[str, Any]) -> int:
 class Stage:
     """Base simulated pipeline stage."""
 
+    __slots__ = ("ctx", "op", "name", "input", "output", "on_retire",
+                 "active_cycles", "stall_cycles")
+
     def __init__(self, ctx, op, name: str) -> None:
         self.ctx = ctx
         self.op = op
@@ -121,6 +124,8 @@ class Stage:
 
 
 class ConstStage(Stage):
+    __slots__ = ()
+
     def process(self, token: SimToken) -> None:
         op: Const = self.op
         token.env[op.dst] = op.value
@@ -128,6 +133,8 @@ class ConstStage(Stage):
 
 
 class AluStage(Stage):
+    __slots__ = ()
+
     def process(self, token: SimToken) -> None:
         op: Alu = self.op
         token.env[op.dst] = op.fn(token.env)
@@ -135,6 +142,8 @@ class AluStage(Stage):
 
 
 class LabelStage(Stage):
+    __slots__ = ()
+
     def process(self, token: SimToken) -> None:
         op: Label = self.op
         payload = (
@@ -152,6 +161,8 @@ class LabelStage(Stage):
 
 class LoadStage(Stage):
     """Out-of-order load unit: a station of in-flight cache requests."""
+
+    __slots__ = ("station", "depth", "in_order")
 
     def __init__(self, ctx, op, name: str) -> None:
         super().__init__(ctx, op, name)
@@ -196,6 +207,8 @@ class LoadStage(Stage):
 class StoreStage(Stage):
     """Commit unit: functional write-through plus event broadcast."""
 
+    __slots__ = ()
+
     def process(self, token: SimToken) -> None:
         op: Store = self.op
         ctx = self.ctx
@@ -225,6 +238,8 @@ class StoreStage(Stage):
 
 class SwitchStage(Stage):
     """Guard steering: predicate true continues, false takes the epilogue."""
+
+    __slots__ = ("epilogue_entry",)
 
     def __init__(self, ctx, op, name: str) -> None:
         super().__init__(ctx, op, name)
@@ -264,6 +279,8 @@ class ExpandStage(Stage):
     station, like the load units); children are emitted in arrival order,
     one per cycle, from the head expansion once its stream has landed.
     """
+
+    __slots__ = ("_inflight", "depth")
 
     def __init__(self, ctx, op, name: str) -> None:
         super().__init__(ctx, op, name)
@@ -321,6 +338,8 @@ class ExpandStage(Stage):
 class AllocRuleStage(Stage):
     """Rule-lane allocation; stalls the pipeline while the engine is full."""
 
+    __slots__ = ()
+
     def tick(self) -> None:
         if self.input.visible == 0:
             return
@@ -353,6 +372,8 @@ class AllocRuleStage(Stage):
 
 class RendezvousStage(Stage):
     """Out-of-order rendezvous: tokens wait for verdicts in a station."""
+
+    __slots__ = ("station", "depth", "epilogue_entry", "in_order")
 
     def __init__(self, ctx, op, name: str) -> None:
         super().__init__(ctx, op, name)
@@ -429,6 +450,8 @@ class RendezvousStage(Stage):
 class EnqueueStage(Stage):
     """Task activation: a push port into a workset queue."""
 
+    __slots__ = ()
+
     def tick(self) -> None:
         if self.input.visible == 0:
             return
@@ -466,6 +489,8 @@ class CallStage(Stage):
     unit's latency and its operand traffic, and the REACH event is
     broadcast at completion.
     """
+
+    __slots__ = ("in_flight", "depth")
 
     def __init__(self, ctx, op, name: str) -> None:
         super().__init__(ctx, op, name)

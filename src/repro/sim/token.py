@@ -11,7 +11,7 @@ from repro.core.indexing import TaskIndex
 _token_ids = itertools.count()
 
 
-@dataclass
+@dataclass(slots=True)
 class SimToken:
     """One task token.
 

@@ -22,7 +22,8 @@ from typing import Callable, Sequence
 
 from repro.core.spec import ApplicationSpec
 from repro.eval.platforms import STRATIX_V, HarpPlatform, HARP, StratixV
-from repro.sim.accelerator import SimConfig, simulate_app
+from repro.exec import CallableSource, SimJob, SweepRunner
+from repro.sim.accelerator import SimConfig
 from repro.synthesis.datapath import build_datapath
 from repro.synthesis.resources import estimate_datapath
 
@@ -82,15 +83,25 @@ def explore(
     station_options: Sequence[int] = (8, 16),
     platform: HarpPlatform = HARP,
     device: StratixV = STRATIX_V,
+    runner: SweepRunner | None = None,
+    spec_source=None,
 ) -> DseResult:
     """Sweep the knob grid; simulate what fits; return Pareto data.
 
     ``spec_builder`` must return a fresh spec per call (simulation mutates
-    program state).  The grid is intentionally small — each surviving point
-    is a full cycle-level simulation.
+    program state).  Resource estimation stays in-process (it is cheap and
+    structural); the surviving grid points — each a full cycle-level
+    simulation — are batched through ``runner``.  Pass ``spec_source`` (a
+    declarative source from :mod:`repro.exec`) to make the points
+    cacheable and executable in pool workers; without it the builder is
+    wrapped in an uncacheable :class:`CallableSource`.
     """
     result = DseResult()
+    runner = runner or SweepRunner()
+    source = spec_source or CallableSource(spec_builder)
     grid = itertools.product(replica_options, lane_options, station_options)
+    jobs: list[SimJob] = []
+    estimates: list = []
     for replicas_per_set, lanes, station in grid:
         probe_spec = spec_builder()
         replicas = {name: replicas_per_set for name in probe_spec.task_sets}
@@ -102,19 +113,26 @@ def explore(
         if not estimate.fits(device):
             result.skipped_overflow += 1
             continue
-        config = SimConfig(rule_lanes=lanes, station_depth=station)
-        sim = simulate_app(
-            spec_builder(), platform=platform, config=config,
+        jobs.append(SimJob(
+            source=source,
+            platform=platform,
+            config=SimConfig(rule_lanes=lanes, station_depth=station),
             replicas=replicas,
-        )
+            tag=f"dse:P{replicas_per_set}/L{lanes}/S{station}",
+        ))
+        estimates.append((replicas_per_set, lanes, station, estimate))
+    outcomes = runner.run(jobs)
+    for (replicas_per_set, lanes, station, estimate), outcome in zip(
+        estimates, outcomes
+    ):
         result.points.append(DesignPoint(
             replicas_per_set=replicas_per_set,
             rule_lanes=lanes,
             station_depth=station,
-            cycles=sim.cycles,
+            cycles=outcome.cycles,
             registers=estimate.total.registers,
             alms=estimate.total.alms,
-            utilization=sim.utilization,
+            utilization=outcome.utilization,
         ))
     return result
 

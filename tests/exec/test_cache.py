@@ -1,0 +1,158 @@
+"""Result-cache correctness: hits, misses, robustness, invalidation."""
+
+import json
+
+import pytest
+
+from repro.exec import JobOutcome, ResultCache
+from repro.exec.cache import CACHE_FILENAME
+from repro.exec.job import JOB_SCHEMA
+
+
+def outcome(app="SPEC-BFS", cycles=123, **kw) -> JobOutcome:
+    return JobOutcome(app=app, cycles=cycles, seconds=1e-6,
+                      utilization=0.5, stats={"cycles": cycles}, **kw)
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.put("d" * 16, outcome())
+        got = cache.get("d" * 16)
+        assert got is not None
+        assert got.to_dict() == outcome().to_dict()
+
+    def test_get_returns_fresh_object(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("d" * 16, outcome())
+        first = cache.get("d" * 16)
+        first.cycles = -1
+        assert cache.get("d" * 16).cycles == 123
+
+    def test_survives_reopen(self, tmp_path):
+        ResultCache(tmp_path).put("d" * 16, outcome())
+        reopened = ResultCache(tmp_path)
+        assert len(reopened) == 1
+        assert reopened.get("d" * 16).cycles == 123
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("feed" * 4) is None
+        assert cache.get(None) is None
+
+    def test_last_write_wins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("d" * 16, outcome(cycles=1))
+        cache.put("d" * 16, outcome(cycles=2))
+        assert cache.get("d" * 16).cycles == 2
+        assert ResultCache(tmp_path).get("d" * 16).cycles == 2
+
+
+class TestNeverCached:
+    def test_error_outcomes_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.put("d" * 16, outcome(error="DeadlockError: x"))
+        assert cache.get("d" * 16) is None
+        assert not (tmp_path / CACHE_FILENAME).exists()
+
+    def test_uncacheable_digest_is_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.put(None, outcome())
+        assert len(cache) == 0
+
+
+class TestRobustness:
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 16, outcome(cycles=1))
+        with open(cache.path, "a", encoding="utf-8") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"schema": 1, "digest": 42}\n')
+            handle.write("[1, 2, 3]\n")
+        cache.put("b" * 16, outcome(cycles=2))
+        reopened = ResultCache(tmp_path)
+        assert reopened.get("a" * 16).cycles == 1
+        assert reopened.get("b" * 16).cycles == 2
+        assert len(reopened) == 2
+
+    def test_newer_schema_entries_are_skipped(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 16, outcome())
+        entry = {"schema": JOB_SCHEMA + 1, "digest": "b" * 16,
+                 "outcome": outcome().to_dict()}
+        with open(cache.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry) + "\n")
+        reopened = ResultCache(tmp_path)
+        assert reopened.get("a" * 16) is not None
+        assert reopened.get("b" * 16) is None
+
+    def test_cached_flag_is_not_persisted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        marked = outcome()
+        marked.cached = True
+        cache.put("d" * 16, marked)
+        line = json.loads(open(cache.path).readline())
+        assert "cached" not in line["outcome"]
+        assert ResultCache(tmp_path).get("d" * 16).cached is False
+
+
+class TestRunnerIntegration:
+    """The runner consults the cache before ever invoking the simulator."""
+
+    @pytest.fixture
+    def job(self):
+        from repro.eval.platforms import HARP
+        from repro.exec import GraphAppSource, SimJob
+        from repro.sim.accelerator import SimConfig
+
+        return SimJob(
+            source=GraphAppSource("SPEC-BFS", 60, 180, seed=7, start=0),
+            platform=HARP, config=SimConfig(),
+        )
+
+    def test_hit_skips_the_simulator(self, tmp_path, monkeypatch, job):
+        from repro.exec import SweepRunner
+
+        cold = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        [first] = cold.run([job])
+        assert cold.report.executed == 1 and cold.report.hits == 0
+
+        def bomb(*args, **kwargs):
+            raise AssertionError("simulator invoked on a cache hit")
+
+        monkeypatch.setattr("repro.exec.runner.execute_job", bomb)
+        warm = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        [hit] = warm.run([job])
+        assert warm.report.hits == 1 and warm.report.executed == 0
+        assert hit.cached is True
+        assert hit.to_dict() == first.to_dict()
+
+    def test_no_cache_forces_resimulation(self, tmp_path, job):
+        from repro.exec import SweepRunner
+
+        SweepRunner(jobs=1, cache=ResultCache(tmp_path)).run([job])
+        # Runner without a cache (CLI --no-cache) must simulate again.
+        calls = []
+        import repro.exec.runner as runner_mod
+        real = runner_mod.execute_job
+        try:
+            runner_mod.execute_job = \
+                lambda j: calls.append(j) or real(j)
+            uncached = SweepRunner(jobs=1, cache=None)
+            [fresh] = uncached.run([job])
+        finally:
+            runner_mod.execute_job = real
+        assert len(calls) == 1
+        assert uncached.report.hits == 0 and uncached.report.executed == 1
+        assert fresh.cached is False
+
+    def test_cli_no_cache_flag_builds_cacheless_runner(self):
+        from repro.cli import build_parser, _runner_from_args
+
+        args = build_parser().parse_args(
+            ["experiment", "figure10", "--no-cache", "--jobs", "3"])
+        runner = _runner_from_args(args)
+        assert runner.cache is None
+        assert runner.jobs == 3
+        args = build_parser().parse_args(["experiment", "figure10"])
+        assert _runner_from_args(args).cache is not None

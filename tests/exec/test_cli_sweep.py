@@ -1,0 +1,52 @@
+"""CLI-level sweep determinism: --jobs N is invisible in every output.
+
+Satellite of the parallel-runner work: a seeded fault campaign must be
+byte-identical between ``--jobs 1`` and ``--jobs 4`` — stdout *and* the
+run-store records it appends (modulo the per-run bookkeeping fields that
+encode when/how long, not what).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+HOST_DEPENDENT = {"timestamp", "wall_seconds", "run_id"}
+
+
+def campaign_argv(store, jobs: int) -> list[str]:
+    return [
+        "fault-campaign", "--seed", "7", "--trials", "1",
+        "--apps", "SPEC-BFS",
+        "--store", str(store), "--no-cache", "--jobs", str(jobs),
+    ]
+
+
+def normalized_records(store) -> list[dict]:
+    rows = []
+    with open(store / "runs.jsonl", encoding="utf-8") as handle:
+        for line in handle:
+            record = json.loads(line)
+            rows.append({k: v for k, v in record.items()
+                         if k not in HOST_DEPENDENT})
+    return rows
+
+
+@pytest.mark.slow
+def test_fault_campaign_identical_across_jobs(tmp_path, capsys):
+    serial_store = tmp_path / "serial"
+    parallel_store = tmp_path / "parallel"
+
+    assert main(campaign_argv(serial_store, jobs=1)) == 0
+    serial_out = capsys.readouterr().out
+    assert main(campaign_argv(parallel_store, jobs=4)) == 0
+    parallel_out = capsys.readouterr().out
+
+    assert parallel_out == serial_out
+    assert "VERIFIED" in serial_out
+
+    serial_records = normalized_records(serial_store)
+    parallel_records = normalized_records(parallel_store)
+    assert serial_records == parallel_records
+    assert len(serial_records) == 1   # one trial appended, baseline not

@@ -1,0 +1,174 @@
+"""Sweep-runner guarantees: parallel == serial, retries, fallbacks."""
+
+import time
+
+import pytest
+
+from repro.eval.platforms import HARP
+from repro.exec import (
+    CallableSource,
+    GraphAppSource,
+    JobOutcome,
+    ResultCache,
+    SimJob,
+    SweepError,
+    SweepRunner,
+)
+from repro.exec.runner import run_job_with_timeout
+from repro.sim.accelerator import SimConfig
+
+
+def grid_jobs() -> list[SimJob]:
+    """A small two-app bandwidth grid (fig10 in miniature)."""
+    return [
+        SimJob(
+            source=GraphAppSource(
+                app, 80, 240, seed=7,
+                start=0 if app == "SPEC-BFS" else None,
+            ),
+            platform=HARP.scaled(factor),
+            config=SimConfig(),
+            tag=f"{app}@{factor:g}x",
+        )
+        for app in ("SPEC-BFS", "SPEC-SSSP")
+        for factor in (1.0, 4.0)
+    ]
+
+
+def comparable(outcomes) -> list[dict]:
+    """Outcome dicts minus the host-dependent wall clock."""
+    rows = []
+    for outcome in outcomes:
+        data = outcome.to_dict()
+        del data["wall_seconds"]
+        rows.append(data)
+    return rows
+
+
+class TestDeterminism:
+    def test_parallel_identical_to_serial(self):
+        jobs = grid_jobs()
+        serial = SweepRunner(jobs=1).run(jobs)
+        parallel = SweepRunner(jobs=4).run(jobs)
+        assert comparable(parallel) == comparable(serial)
+
+    def test_results_in_input_order(self):
+        jobs = grid_jobs()
+        outcomes = SweepRunner(jobs=4).run(jobs)
+        assert [o.app for o in outcomes] == [j.app for j in jobs]
+        # Per-point cycle counts differ across the grid, so order
+        # mismatches cannot cancel out.
+        assert len({o.cycles for o in outcomes}) > 1
+
+    def test_cache_outcomes_identical_to_fresh(self, tmp_path):
+        jobs = grid_jobs()
+        fresh = SweepRunner(jobs=1, cache=ResultCache(tmp_path)).run(jobs)
+        warm_runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        warm = warm_runner.run(jobs)
+        assert warm_runner.report.hits == len(jobs)
+        assert warm_runner.report.hit_rate == 1.0
+        assert comparable(warm) == comparable(fresh)
+        assert all(o.cached for o in warm)
+
+
+class TestFailureHandling:
+    def test_strict_mode_raises_after_collecting_all(self):
+        def boom():
+            raise RuntimeError("broken spec")
+
+        jobs = [SimJob(source=CallableSource(boom), tag="bad")]
+        with pytest.raises(SweepError, match="bad: RuntimeError"):
+            SweepRunner(jobs=1, retries=0).run(jobs)
+
+    def test_lenient_mode_folds_errors(self):
+        def boom():
+            raise RuntimeError("broken spec")
+
+        good = grid_jobs()[0]
+        jobs = [SimJob(source=CallableSource(boom), tag="bad"), good]
+        runner = SweepRunner(jobs=1, retries=0, strict=False)
+        outcomes = runner.run(jobs)
+        assert outcomes[0].error == "RuntimeError: broken spec"
+        assert outcomes[1].error == ""
+        assert runner.report.errors == 1
+
+    def test_transient_failure_is_retried(self, monkeypatch):
+        import repro.exec.runner as runner_mod
+
+        attempts = {"n": 0}
+
+        def flaky(job, timeout):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                return JobOutcome(app=job.app, error="Transient: blip")
+            return JobOutcome(app=job.app, cycles=42)
+
+        monkeypatch.setattr(runner_mod, "run_job_with_timeout", flaky)
+        runner = SweepRunner(jobs=1, retries=1)
+        [outcome] = runner.run(grid_jobs()[:1])
+        assert outcome.cycles == 42
+        assert runner.report.retried == 1
+
+    def test_timeout_folds_into_outcome(self):
+        def sleepy():
+            time.sleep(5)
+
+        jobs = [SimJob(source=CallableSource(sleepy), tag="sleepy")]
+        runner = SweepRunner(jobs=1, timeout=1, retries=0, strict=False)
+        started = time.perf_counter()
+        [outcome] = runner.run(jobs)
+        assert time.perf_counter() - started < 4
+        assert outcome.error.startswith("JobTimeoutError")
+
+    def test_run_job_without_timeout_budget(self):
+        outcome = run_job_with_timeout(grid_jobs()[0], None)
+        assert outcome.error == ""
+        assert outcome.cycles > 0
+
+
+class TestFallback:
+    def test_unpicklable_jobs_fall_back_in_process(self):
+        captured = []
+
+        jobs = grid_jobs()[:2]
+        # A closure over a local is not picklable, so jobs=4 cannot
+        # use the pool — the runner must notice and run in-process.
+        builders = [j.source for j in jobs]
+        unpicklable = [
+            SimJob(source=CallableSource(lambda b=b: captured.append(1)
+                                         or b.build()),
+                   platform=j.platform, config=j.config, tag=j.tag)
+            for b, j in zip(builders, jobs)
+        ]
+        runner = SweepRunner(jobs=4)
+        outcomes = runner.run(unpicklable)
+        assert runner.report.fallback != ""
+        assert len(captured) == 2   # builders ran in this process
+        assert comparable(outcomes) == \
+            comparable(SweepRunner(jobs=1).run(jobs))
+
+    def test_single_pending_point_runs_in_process(self, tmp_path):
+        jobs = grid_jobs()[:2]
+        cache = ResultCache(tmp_path)
+        SweepRunner(jobs=1, cache=cache).run(jobs[:1])
+        runner = SweepRunner(jobs=4, cache=ResultCache(tmp_path))
+        outcomes = runner.run(jobs)
+        assert runner.report.hits == 1
+        assert runner.report.executed == 1
+        assert [o.cached for o in outcomes] == [True, False]
+
+
+@pytest.mark.slow
+class TestExperimentDeterminism:
+    """Figure sweeps produce identical results at any parallelism."""
+
+    def test_figure10_parallel_matches_serial(self):
+        from repro.eval.experiments import run_figure10
+
+        kwargs = dict(scale=0.25, apps=("SPEC-BFS", "SPEC-SSSP"),
+                      bandwidth_scales=(1.0, 4.0))
+        serial = run_figure10(runner=SweepRunner(jobs=1), **kwargs)
+        parallel = run_figure10(runner=SweepRunner(jobs=4), **kwargs)
+        assert serial.keys() == parallel.keys()
+        for app in serial:
+            assert serial[app].points == parallel[app].points
