@@ -1,0 +1,213 @@
+#!/usr/bin/env python
+"""Infrastructure chaos stress for CI: storage and sweep recovery.
+
+Three subcommands, each exiting nonzero on any lost or corrupt record:
+
+``stress``
+    Fork N writer processes appending concurrently to ONE result cache
+    and ONE run store, then verify every record landed intact: exact
+    entry counts, zero corrupt lines, unique run ids.
+
+``sweep``
+    Run a seeded sweep (with cache + journal) that a harness can
+    SIGKILL mid-flight and later re-invoke with ``--resume``.  Prints
+    the sweep summary; exits 0 only when every point has an outcome.
+
+``check``
+    Assert a prior ``sweep`` store is fully warm: re-running must be
+    100% cache hits with zero simulations, and the journal must mark
+    every point done.
+
+Usage (mirrors the CI chaos-stress job)::
+
+    python scripts/chaos_stress.py stress --dir /tmp/chaos --writers 4
+    python scripts/chaos_stress.py sweep --dir /tmp/chaos --points 8 &
+    kill -9 <pid mid-flight>
+    python scripts/chaos_stress.py sweep --dir /tmp/chaos --points 8 --resume
+    python scripts/chaos_stress.py check --dir /tmp/chaos --points 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.eval.platforms import HARP                      # noqa: E402
+from repro.exec import (                                   # noqa: E402
+    GraphAppSource,
+    JobOutcome,
+    ResultCache,
+    SimJob,
+    SweepJournal,
+    SweepRunner,
+)
+from repro.io import read_jsonl                            # noqa: E402
+from repro.obs.runstore import RunStore, record_from_outcome  # noqa: E402
+from repro.sim.accelerator import SimConfig                # noqa: E402
+
+
+def fail(message: str) -> None:
+    print(f"chaos-stress: FAIL: {message}")
+    raise SystemExit(1)
+
+
+# ---------------------------------------------------------------------------
+# stress: concurrent writers, one store
+# ---------------------------------------------------------------------------
+
+
+def _writer(root: str, writer: int, count: int) -> None:
+    """One writer process: interleaved cache puts and run appends."""
+    cache = ResultCache(root)
+    store = RunStore(root)
+    config = SimConfig()
+    for i in range(count):
+        outcome = JobOutcome(app=f"w{writer}", cycles=writer * 10_000 + i)
+        cache.put(f"{writer:02d}:{i:04d}", outcome)
+        store.append(record_from_outcome(
+            "chaos-stress", outcome, platform=HARP, config=config,
+            seed=writer,
+        ))
+
+
+def cmd_stress(args: argparse.Namespace) -> int:
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(target=_writer, args=(args.dir, w, args.appends))
+        for w in range(args.writers)
+    ]
+    for proc in procs:
+        proc.start()
+    for proc in procs:
+        proc.join(timeout=120)
+        if proc.exitcode != 0:
+            fail(f"writer exited with {proc.exitcode}")
+
+    expected = args.writers * args.appends
+    cache = ResultCache(args.dir)
+    report = cache.verify()
+    if not report["ok"]:
+        fail(f"cache damaged after stress: {report}")
+    if report["entries"] != expected:
+        fail(f"cache lost records: {report['entries']}/{expected}")
+
+    store = RunStore(args.dir)
+    records = store.records()
+    if store.skipped:
+        fail(f"run store has {store.skipped} corrupt lines")
+    if len(records) != expected:
+        fail(f"run store lost records: {len(records)}/{expected}")
+    run_ids = {record.run_id for record in records}
+    if len(run_ids) != expected:
+        fail(f"duplicate run ids: {expected - len(run_ids)} collisions")
+
+    raw = read_jsonl(store.path, warn=False)
+    if raw.skipped or len(raw.rows) != expected:
+        fail(f"raw store read: {len(raw.rows)} rows, "
+             f"{len(raw.skipped)} skipped")
+    print(f"chaos-stress: stress OK — {args.writers} writers x "
+          f"{args.appends} appends, {expected} cache entries, "
+          f"{expected} unique run ids, 0 corrupt lines")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# sweep / check: kill-resume recovery
+# ---------------------------------------------------------------------------
+
+
+def sweep_jobs(points: int) -> list[SimJob]:
+    """The fixed seeded job grid both `sweep` and `check` agree on.
+
+    Deliberately heterogeneous: the first two points are small (quick
+    ``done`` events for a kill harness to synchronize on) and the rest
+    are large, so after the first completion the sweep is guaranteed to
+    still be mid-flight for several seconds — a SIGKILL landing there
+    always finds both finished and unfinished work.
+    """
+    jobs = []
+    for seed in range(points):
+        nodes = 200 if seed < 2 else 2400
+        jobs.append(SimJob(
+            source=GraphAppSource("SPEC-BFS", nodes, nodes * 3,
+                                  seed=seed, start=0),
+            platform=HARP,
+            config=SimConfig(),
+            tag=f"chaos-sweep:{seed}",
+        ))
+    return jobs
+
+
+def _runner(args: argparse.Namespace, resume: bool) -> SweepRunner:
+    return SweepRunner(
+        jobs=args.jobs,
+        cache=ResultCache(args.dir),
+        journal=SweepJournal(args.dir),
+        resume=resume,
+        strict=True,
+    )
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    runner = _runner(args, resume=args.resume)
+    outcomes = runner.run(sweep_jobs(args.points))
+    print(runner.report.summary())
+    bad = [o for o in outcomes if o.error]
+    if bad:
+        fail(f"{len(bad)} sweep points failed: {bad[0].error}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    runner = _runner(args, resume=True)
+    outcomes = runner.run(sweep_jobs(args.points))
+    report = runner.report
+    print(report.summary())
+    if any(o.error for o in outcomes):
+        fail("warm re-run has failed points")
+    if report.hits != args.points or report.executed != 0:
+        fail(f"store not fully warm: {report.hits}/{args.points} hits, "
+             f"{report.executed} simulated")
+    if report.hit_rate != 1.0:
+        fail(f"hit rate {report.hit_rate} != 1.0")
+    state = SweepJournal(args.dir).load()
+    if len(state.done) < args.points:
+        fail(f"journal marks only {len(state.done)}/{args.points} done")
+    print(f"chaos-stress: check OK — {args.points}/{args.points} cache "
+          f"hits, journal complete")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stress = sub.add_parser("stress", help="concurrent-writer stress")
+    stress.add_argument("--dir", required=True)
+    stress.add_argument("--writers", type=int, default=4)
+    stress.add_argument("--appends", type=int, default=25)
+    stress.set_defaults(handler=cmd_stress)
+
+    sweep = sub.add_parser("sweep", help="killable resumable sweep")
+    sweep.add_argument("--dir", required=True)
+    sweep.add_argument("--points", type=int, default=8)
+    sweep.add_argument("--jobs", type=int, default=1)
+    sweep.add_argument("--resume", action="store_true")
+    sweep.set_defaults(handler=cmd_sweep)
+
+    check = sub.add_parser("check", help="assert store fully warm")
+    check.add_argument("--dir", required=True)
+    check.add_argument("--points", type=int, default=8)
+    check.add_argument("--jobs", type=int, default=1)
+    check.set_defaults(handler=cmd_check)
+
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

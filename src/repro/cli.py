@@ -11,9 +11,18 @@ Commands
 ``experiment``  regenerate table1 / figure9 / figure10 / resources
 ``dse APP``     design-space exploration (Pareto frontier)
 ``fault-campaign``  seeded fault injection with checkpoint/rollback recovery
-``runs``        query the cross-run telemetry store (list / show / diff)
+``runs``        query the cross-run telemetry store (list / show / diff
+                / compact)
+``cache``       inspect and maintain the sweep result cache
+                (stats / verify / compact / prune)
 ``diagnose``    rank a run's bottlenecks from its stored telemetry
 ``dashboard``   write the self-contained HTML telemetry dashboard
+
+Sweep-running commands (``experiment``, ``dse``, ``fault-campaign``)
+accept ``--jobs N`` (parallel workers), ``--cache/--no-cache``, and
+``--resume`` — an interrupted sweep restarts, skipping completed points
+via the result cache and quarantined poison points via the sweep
+journal (see docs/robustness.md).
 
 ``simulate``, ``profile``, ``fault-campaign`` and ``experiment`` append
 a :class:`~repro.obs.runstore.RunRecord` to the run store
@@ -152,18 +161,32 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
                              "sweep points (--no-cache forces "
                              "re-simulation; cache file lives in the "
                              "--store directory)")
+    parser.add_argument("--resume", action="store_true",
+                        help="resume an interrupted sweep: completed "
+                             "points come back as cache hits and "
+                             "quarantined (poison) points are skipped "
+                             "via the sweep journal")
 
 
 def _runner_from_args(args: argparse.Namespace, *, strict: bool = True,
                       retries: int = 1):
-    """A :class:`~repro.exec.SweepRunner` configured from CLI flags."""
-    from repro.exec import ResultCache, SweepRunner
+    """A :class:`~repro.exec.SweepRunner` configured from CLI flags.
 
-    cache = None
+    With caching on, a :class:`~repro.exec.SweepJournal` rides along in
+    the same store directory so every CLI sweep is resumable after a
+    crash; ``--no-cache`` disables both (resume is meaningless when
+    completed points cannot be skipped).
+    """
+    from repro.exec import ResultCache, SweepJournal, SweepRunner
+
+    store_dir = getattr(args, "store", DEFAULT_STORE_DIR)
+    cache = journal = None
     if getattr(args, "cache", True):
-        cache = ResultCache(getattr(args, "store", DEFAULT_STORE_DIR))
+        cache = ResultCache(store_dir)
+        journal = SweepJournal(store_dir)
     return SweepRunner(jobs=getattr(args, "jobs", 1), cache=cache,
-                       strict=strict, retries=retries)
+                       strict=strict, retries=retries, journal=journal,
+                       resume=getattr(args, "resume", False))
 
 
 def _resolve_run_ref(store: RunStore, ref: str):
@@ -486,22 +509,104 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _error_line(exc: BaseException) -> str:
+    """One printable line for a store/ref failure (no quoted KeyError)."""
+    if isinstance(exc, KeyError) and exc.args:
+        return str(exc.args[0])
+    return str(exc)
+
+
 def cmd_runs(args: argparse.Namespace) -> int:
-    """Query the cross-run telemetry store (list / show / diff)."""
+    """Query or compact the cross-run telemetry store."""
     store = RunStore(args.store)
     try:
         if args.runs_command == "list":
-            print(format_records_table(store.records()))
+            # A store that was never written is fine to list (empty
+            # table); one that exists but yields nothing readable is an
+            # error worth a loud line.
+            records = store.records()
+            if not records and store.skipped:
+                store.ensure_readable()
+            print(format_records_table(records))
         elif args.runs_command == "show":
             print(format_record(_resolve_run_ref(store, args.ref)))
+        elif args.runs_command == "compact":
+            if not store.path.exists():
+                raise KeyError(f"run store {store.path} does not exist")
+            result = store.compact()
+            print(f"compacted {store.path}: "
+                  f"{result['before_lines']} -> {result['after_lines']} "
+                  f"lines, {result['dropped_corrupt']} corrupt dropped")
         else:  # diff
             a = _resolve_run_ref(store, args.a)
             b = _resolve_run_ref(store, args.b)
             print(format_diff(diff_records(a, b)))
-    except (KeyError, FileNotFoundError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+    except (KeyError, OSError, ValueError) as exc:
+        # Missing, empty, or corrupt store files (and unreadable
+        # golden: files) end in one line on stderr, never a traceback.
+        print(f"error: {_error_line(exc)}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect and maintain the sweep result cache."""
+    from repro.exec import ResultCache
+
+    cache = ResultCache(args.store)
+    try:
+        if args.cache_command == "stats":
+            stats = cache.stats()
+            if not stats["exists"]:
+                print(f"error: result cache {cache.path} does not exist",
+                      file=sys.stderr)
+                return 1
+            print(f"result cache {stats['path']}: "
+                  f"{stats['entries']} entries in {stats['lines']} lines "
+                  f"({stats['bytes']} bytes)")
+            print(f"  superseded: {stats['superseded']}  "
+                  f"stale-schema: {stats['stale_schema']}  "
+                  f"malformed: {stats['malformed']}  "
+                  f"corrupt: {stats['corrupt']}")
+            return 0
+        if args.cache_command == "verify":
+            report = cache.verify()
+            if not report["exists"]:
+                print(f"error: result cache {cache.path} does not exist",
+                      file=sys.stderr)
+                return 1
+            status = "OK" if report["ok"] else "DAMAGED"
+            print(f"verify {report['path']}: {status} — "
+                  f"{report['entries']} entries, "
+                  f"{report['corrupt']} corrupt lines"
+                  + (f" (lines {report['corrupt_lines']})"
+                     if report["corrupt_lines"] else "")
+                  + f", {report['undecodable']} undecodable entries")
+            if not report["ok"]:
+                print("  run `repro cache compact` to drop the damage",
+                      file=sys.stderr)
+            return 0 if report["ok"] else 1
+        if args.cache_command == "compact":
+            result = cache.compact()
+            print(f"compacted {cache.path}: "
+                  f"{result['before_lines']} -> {result['after_lines']} "
+                  f"lines ({result['dropped_corrupt']} corrupt, "
+                  f"{result['dropped_superseded']} superseded dropped)")
+            return 0
+        # prune
+        result = cache.prune(args.max_entries)
+        print(f"pruned {cache.path}: "
+              f"{result['before_lines']} -> {result['after_lines']} lines "
+              f"({result['dropped_corrupt']} corrupt, "
+              f"{result['dropped_superseded']} superseded, "
+              f"{result['dropped_stale_schema']} stale-schema dropped"
+              + (f", capped to {args.max_entries} entries"
+                 if args.max_entries is not None else "")
+              + ")")
+        return 0
+    except (KeyError, OSError, ValueError) as exc:
+        print(f"error: {_error_line(exc)}", file=sys.stderr)
+        return 1
 
 
 def _observed_record(app: str, bandwidth: float, fast: bool):
@@ -531,8 +636,8 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
         store = RunStore(args.store)
         try:
             record = _resolve_run_ref(store, args.run)
-        except (KeyError, FileNotFoundError) as exc:
-            print(f"error: {exc}", file=sys.stderr)
+        except (KeyError, OSError, ValueError) as exc:
+            print(f"error: {_error_line(exc)}", file=sys.stderr)
             return 1
     elif args.app is not None:
         _, record = _observed_record(args.app, args.bandwidth, args.fast)
@@ -562,9 +667,9 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     else:
         try:
             record = _resolve_run_ref(store, args.run)
-        except (KeyError, FileNotFoundError) as exc:
-            print(f"error: {exc} — run e.g. `repro simulate SPEC-BFS` "
-                  "first, or pass an APP", file=sys.stderr)
+        except (KeyError, OSError, ValueError) as exc:
+            print(f"error: {_error_line(exc)} — or pass an APP to "
+                  "simulate one now", file=sys.stderr)
             return 1
     write_dashboard(args.out, record, diagnose_record(record), history)
     print(f"wrote {args.out} (run {record.run_id or 'unsaved'}, "
@@ -730,7 +835,29 @@ def build_parser() -> argparse.ArgumentParser:
                      "(or against a golden: baseline)")
     runs_diff.add_argument("a")
     runs_diff.add_argument("b")
+    runs_sub.add_parser(
+        "compact", help="rewrite the store dropping corrupt/torn lines "
+                        "(run ids are preserved)")
     runs.set_defaults(handler=cmd_runs)
+
+    cache = sub.add_parser(
+        "cache", help="inspect and maintain the sweep result cache "
+                      "(.repro/simcache.jsonl)")
+    cache.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR",
+                       help="directory holding the cache (default .repro)")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("stats", help="entry/line/corruption accounting")
+    cache_sub.add_parser("verify", help="deep check: every entry must "
+                                        "decode; exit 1 on damage")
+    cache_sub.add_parser("compact", help="drop corrupt and superseded "
+                                         "lines (atomic rewrite)")
+    cache_prune = cache_sub.add_parser(
+        "prune", help="compact plus drop stale-schema entries, "
+                      "optionally capping the entry count")
+    cache_prune.add_argument("--max-entries", type=int, default=None,
+                             metavar="N",
+                             help="keep only the N most recent entries")
+    cache.set_defaults(handler=cmd_cache)
 
     diagnose = sub.add_parser(
         "diagnose", help="rank the bottlenecks of a run "

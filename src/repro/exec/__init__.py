@@ -10,10 +10,18 @@ simulations.  This package gives them one execution path:
   re-running a sweep never re-simulates a point it already has;
 * :class:`~repro.exec.runner.SweepRunner` — serial or process-pool
   execution with deterministic input-order results, per-job timeout,
-  one retry, and cache hit/miss reporting.
+  supervised retries (seeded exponential backoff with jitter,
+  poison-job quarantine), and cache hit/miss reporting;
+* :class:`~repro.exec.journal.SweepJournal` — a durable progress
+  journal so an interrupted sweep resumes, skipping completed digests
+  (cache hits) and quarantined poison jobs;
+* :mod:`~repro.exec.chaos` — deterministic infrastructure fault
+  injection (worker crashes, torn writes, stale locks) for the chaos
+  test harness and CI stress jobs.
 """
 
 from repro.exec.cache import ResultCache
+from repro.exec.chaos import ChaosConfig
 from repro.exec.job import (
     CallableSource,
     CliAppSource,
@@ -24,10 +32,14 @@ from repro.exec.job import (
     WorkloadSource,
     execute_job,
 )
+from repro.exec.journal import JournalState, SweepJournal
 from repro.exec.runner import SweepError, SweepReport, SweepRunner
 
 __all__ = [
     "CallableSource",
+    "ChaosConfig",
+    "JournalState",
+    "SweepJournal",
     "CliAppSource",
     "FaultSpec",
     "GraphAppSource",

@@ -4,16 +4,22 @@ An append-only JSONL file living alongside the run store
 (``.repro/simcache.jsonl`` by default).  Each line is one successful
 :class:`~repro.exec.job.JobOutcome` keyed by its job's content digest;
 re-running a sweep looks every point up first and only simulates the
-misses.  The file format mirrors the run store's robustness rules:
-corrupt lines and newer-schema entries are skipped on read, never
-fatal, and each entry is a single one-line ``write`` so concurrent
-appends never interleave.
+misses.
+
+Storage goes through :mod:`repro.io.safety`: every append is a single
+line written + flushed + fsynced under the file's advisory lock, so
+concurrent writers (a parallel sweep, several CLI invocations, a future
+daemon) never interleave records, and a writer killed mid-append leaves
+at most one torn trailing line — which the tolerant reader skips with a
+warning and :meth:`ResultCache.compact` removes.  ``repro cache
+stats|verify|compact|prune`` expose the maintenance surface.
 
 Invalidation is purely key-based: the digest covers every input that
 can change a simulation's outcome (source, platform, config, replicas,
 fault spec, execution mode) plus :data:`~repro.exec.job.JOB_SCHEMA`,
 which is bumped whenever the executor's behaviour changes — so stale
-entries are simply never looked up again and need no eviction pass.
+entries are simply never looked up again; ``prune`` reclaims the space
+they occupy.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ import json
 from pathlib import Path
 
 from repro.exec.job import JOB_SCHEMA, JobOutcome
+from repro.io.safety import FileLock, append_line, read_jsonl, replace_file
 
 DEFAULT_CACHE_DIR = ".repro"
 CACHE_FILENAME = "simcache.jsonl"
@@ -30,33 +37,40 @@ CACHE_FILENAME = "simcache.jsonl"
 class ResultCache:
     """Append-only digest -> :class:`JobOutcome` store."""
 
-    def __init__(self, root: str | Path = DEFAULT_CACHE_DIR) -> None:
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_CACHE_DIR,
+        lock_timeout: float = 10.0,
+    ) -> None:
         self.root = Path(root)
         self.path = self.root / CACHE_FILENAME
+        self.lock_timeout = lock_timeout
         self._entries: dict[str, dict] | None = None
+        self.skipped = 0   # corrupt lines seen by the last load
+
+    # -- reading --------------------------------------------------------------
+
+    @staticmethod
+    def _entry_digest(data: dict) -> str | None:
+        """The digest of a live (current-schema, well-formed) entry."""
+        if data.get("schema") != JOB_SCHEMA:
+            return None
+        digest = data.get("digest")
+        outcome = data.get("outcome")
+        if isinstance(digest, str) and isinstance(outcome, dict):
+            return digest
+        return None
 
     def _load(self) -> dict[str, dict]:
         if self._entries is not None:
             return self._entries
         entries: dict[str, dict] = {}
-        if self.path.exists():
-            with open(self.path, "r", encoding="utf-8") as handle:
-                for line in handle:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        data = json.loads(line)
-                    except json.JSONDecodeError:
-                        continue
-                    if not isinstance(data, dict):
-                        continue
-                    if data.get("schema") != JOB_SCHEMA:
-                        continue
-                    digest = data.get("digest")
-                    outcome = data.get("outcome")
-                    if isinstance(digest, str) and isinstance(outcome, dict):
-                        entries[digest] = outcome  # last write wins
+        read = read_jsonl(self.path)
+        self.skipped = len(read.skipped)
+        for _, data in read.rows:
+            digest = self._entry_digest(data)
+            if digest is not None:
+                entries[digest] = data["outcome"]  # last write wins
         self._entries = entries
         return entries
 
@@ -80,7 +94,8 @@ class ResultCache:
 
         Failed outcomes are never cached — an error (timeout, broken
         worker, transient fault) must not masquerade as a result on the
-        next run.
+        next run.  The append is durable: one line, fsynced, under the
+        cache file's lock.
         """
         if digest is None or outcome.error:
             return False
@@ -89,9 +104,143 @@ class ResultCache:
             "digest": digest,
             "outcome": outcome.to_dict(),
         }
-        self.root.mkdir(parents=True, exist_ok=True)
-        line = json.dumps(entry, sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        append_line(
+            self.path,
+            json.dumps(entry, sort_keys=True),
+            timeout=self.lock_timeout,
+        )
         self._load()[digest] = entry["outcome"]
         return True
+
+    # -- maintenance (repro cache stats|verify|compact|prune) -----------------
+
+    def _scan(self) -> dict:
+        """Line-level accounting of the cache file, fresh from disk."""
+        read = read_jsonl(self.path, warn=False)
+        live: dict[str, int] = {}    # digest -> lineno of last write
+        stale_schema = 0
+        malformed = 0
+        for lineno, data in read.rows:
+            digest = self._entry_digest(data)
+            if digest is not None:
+                live[digest] = lineno
+            elif isinstance(data.get("schema"), int) \
+                    and data["schema"] != JOB_SCHEMA:
+                stale_schema += 1
+            else:
+                malformed += 1
+        return {
+            "path": str(self.path),
+            "exists": not read.missing,
+            "bytes": self.path.stat().st_size if not read.missing else 0,
+            "lines": read.lines,
+            "entries": len(live),
+            "superseded": sum(
+                1 for lineno, data in read.rows
+                if (d := self._entry_digest(data)) is not None
+                and live[d] != lineno
+            ),
+            "stale_schema": stale_schema,
+            "malformed": malformed,
+            "corrupt": len(read.skipped),
+            "corrupt_lines": list(read.skipped),
+        }
+
+    def stats(self) -> dict:
+        """Cache-file accounting (entries, dead lines, corrupt lines)."""
+        return self._scan()
+
+    def verify(self) -> dict:
+        """Deep check: scan plus per-entry decodability.
+
+        ``ok`` is True when every line is either a live decodable entry
+        or a deliberately retained historical one (superseded / stale
+        schema) — i.e. no corruption and nothing undecodable.
+        """
+        scan = self._scan()
+        undecodable = 0
+        read = read_jsonl(self.path, warn=False)
+        live_seen: set[str] = set()
+        for _, data in reversed(read.rows):
+            digest = self._entry_digest(data)
+            if digest is None or digest in live_seen:
+                continue
+            live_seen.add(digest)
+            try:
+                JobOutcome.from_dict(data["outcome"])
+            except TypeError:
+                undecodable += 1
+        scan["undecodable"] = undecodable
+        scan["ok"] = (
+            scan["corrupt"] == 0
+            and scan["malformed"] == 0
+            and undecodable == 0
+        )
+        return scan
+
+    def _rewrite(self, keep_stale_schema: bool, max_entries: int | None):
+        """Shared compaction core; returns (before, after) scan stats."""
+        with FileLock(self.path, timeout=self.lock_timeout):
+            before = self._scan()
+            read = read_jsonl(self.path, warn=False)
+            # Last write wins, preserved in last-write file order so the
+            # rewritten file replays the append history.
+            latest: dict[tuple, tuple[int, dict]] = {}
+            for lineno, data in read.rows:
+                digest = data.get("digest")
+                schema = data.get("schema")
+                if self._entry_digest(data) is not None:
+                    latest[("live", digest)] = (lineno, data)
+                elif keep_stale_schema and isinstance(schema, int) \
+                        and isinstance(digest, str) \
+                        and isinstance(data.get("outcome"), dict):
+                    latest[(schema, digest)] = (lineno, data)
+            kept = sorted(latest.values(), key=lambda pair: pair[0])
+            if max_entries is not None and len(kept) > max_entries:
+                kept = kept[-max_entries:]
+            text = "".join(
+                json.dumps(data, sort_keys=True) + "\n"
+                for _, data in kept
+            )
+            if before["exists"] or text:
+                replace_file(self.path, text)
+            self._entries = None
+            after = self._scan()
+        return before, after
+
+    def compact(self) -> dict:
+        """Rewrite the file keeping one line per entry (any schema).
+
+        Drops corrupt/torn lines and superseded duplicates; keeps
+        other-schema entries untouched so a version downgrade still
+        finds its results.  Atomic: tmp + fsync + rename under the lock.
+        """
+        before, after = self._rewrite(keep_stale_schema=True,
+                                      max_entries=None)
+        return {
+            "before_lines": before["lines"],
+            "after_lines": after["lines"],
+            "dropped_corrupt": before["corrupt"],
+            "dropped_superseded": before["superseded"],
+            "entries": after["entries"],
+        }
+
+    def prune(self, max_entries: int | None = None) -> dict:
+        """Compact *and* drop entries the current code can never use
+        (stale schemas, malformed), optionally capping the file to the
+        ``max_entries`` most recent live entries."""
+        before, after = self._rewrite(keep_stale_schema=False,
+                                      max_entries=max_entries)
+        return {
+            "before_lines": before["lines"],
+            "after_lines": after["lines"],
+            "dropped_corrupt": before["corrupt"],
+            "dropped_superseded": before["superseded"],
+            "dropped_stale_schema": before["stale_schema"]
+            + before["malformed"],
+            "dropped_over_cap": max(
+                0,
+                before["entries"] - after["entries"]
+            ) if max_entries is not None else 0,
+            "entries": after["entries"],
+        }

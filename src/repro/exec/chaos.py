@@ -1,0 +1,184 @@
+"""Deterministic infrastructure chaos for the exec/storage layer.
+
+The simulator got fault injection in PR 1; this module stresses the
+*infrastructure around it* the same way — seeded, deterministic, and
+cheap to leave compiled in.  Three injection primitives:
+
+* **Worker crashes** — :func:`maybe_crash_worker` is called at the top
+  of every pool job; when a :class:`ChaosConfig` is active (via the
+  ``REPRO_CHAOS`` environment variable, which crosses the fork into
+  pool workers) it SIGKILLs the *worker process* for a deterministic,
+  digest-keyed subset of jobs.  The parent sees a broken pool future —
+  exactly what a real OOM-kill or segfault produces — and must retry,
+  fall back in-process, and journal the failure.
+* **Torn writes** — :func:`torn_append` plants a partial trailing line
+  (no newline, truncated mid-record) exactly as a writer killed between
+  ``write`` and ``fsync`` would, so tests can assert readers skip it
+  and compaction removes it.
+* **Stale locks** — :func:`plant_stale_lock` fabricates a lock sidecar
+  owned by a dead pid with an old timestamp, the droppings of a crashed
+  lock holder, so tests can assert acquisition breaks or bypasses it.
+
+Every decision hashes ``(seed, kind, key)`` — no global RNG state, so
+a chaos campaign is reproducible from its seed alone and two processes
+agree on which jobs die without coordinating.
+
+Crash injection only ever fires inside a *pool worker* (a process with
+a parent in the same program): killing the orchestrating process would
+test nothing, and killing a user's shell would be rude.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import asdict, dataclass
+
+from repro.io.safety import FileLock
+
+CHAOS_ENV = "REPRO_CHAOS"
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """A seeded chaos plan, serializable into the environment."""
+
+    seed: int = 0
+    crash_rate: float = 0.0        # fraction of pool jobs whose worker dies
+    crash_signal: int = int(getattr(signal, "SIGKILL", 9))
+
+    def to_env(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True)
+
+    @classmethod
+    def from_env(cls, text: str) -> "ChaosConfig | None":
+        try:
+            data = json.loads(text)
+        except (ValueError, TypeError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        types = {"seed": int, "crash_rate": (int, float),
+                 "crash_signal": int}
+        known = {}
+        for field, expected in types.items():
+            if field not in data:
+                continue
+            value = data[field]
+            if isinstance(value, bool) or not isinstance(value, expected):
+                return None
+            known[field] = value
+        try:
+            return cls(**known)
+        except TypeError:
+            return None
+
+    def install(self) -> None:
+        """Activate for this process and every future child."""
+        os.environ[CHAOS_ENV] = self.to_env()
+
+    @staticmethod
+    def uninstall() -> None:
+        os.environ.pop(CHAOS_ENV, None)
+
+
+def active_chaos() -> ChaosConfig | None:
+    """The chaos plan in force, if any (reread per call: jobs are
+    heavyweight, and pool workers must see post-fork changes)."""
+    text = os.environ.get(CHAOS_ENV)
+    if not text:
+        return None
+    return ChaosConfig.from_env(text)
+
+
+def should_fire(seed: int, kind: str, key: str, rate: float) -> bool:
+    """Deterministic Bernoulli draw: hash (seed, kind, key) to [0, 1)."""
+    if rate <= 0:
+        return False
+    if rate >= 1:
+        return True
+    blob = f"{seed}:{kind}:{key}".encode()
+    draw = int.from_bytes(hashlib.sha256(blob).digest()[:8], "big")
+    return draw / 2 ** 64 < rate
+
+
+def _in_pool_worker() -> bool:
+    return multiprocessing.parent_process() is not None
+
+
+def maybe_crash_worker(job) -> None:
+    """Kill this pool worker if the active chaos plan selects ``job``.
+
+    No-op without an installed plan, outside pool workers, and for
+    unselected jobs.  Selection is keyed by the job digest (falling
+    back to tag/app) so the *same* jobs die on every run of a seeded
+    chaos campaign — and because the retry lands either in a fresh
+    worker or inline in the parent, recovery is still exercised
+    deterministically.
+    """
+    chaos = active_chaos()
+    if chaos is None or chaos.crash_rate <= 0 or not _in_pool_worker():
+        return
+    key = None
+    digest = getattr(job, "digest", None)
+    if callable(digest):
+        key = digest()
+    if not key:
+        key = getattr(job, "tag", "") or getattr(job, "app", "?")
+    if should_fire(chaos.seed, "crash", str(key), chaos.crash_rate):
+        os.kill(os.getpid(), chaos.crash_signal)
+        time.sleep(5)  # pragma: no cover - SIGKILL needs no help
+
+
+# ---------------------------------------------------------------------------
+# Storage chaos: torn writes and stale locks
+# ---------------------------------------------------------------------------
+
+
+def torn_append(path, line: str, keep: float = 0.5) -> str:
+    """Append a deliberately torn record: a prefix of ``line``, no
+    newline — byte-for-byte what a writer killed mid-append leaves.
+
+    Returns the torn fragment.  Takes the file's lock like a real
+    writer would (the crash happened *after* acquiring it; the lock
+    then evaporated with the process, which flock models for free).
+    """
+    fragment = line[: max(1, int(len(line) * keep))]
+    with FileLock(path):
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(fragment)
+            handle.flush()
+            os.fsync(handle.fileno())
+    return fragment
+
+
+def find_dead_pid() -> int:
+    """A pid that is certainly not a live process (for stale locks)."""
+    pid = 2 ** 22 - 7   # above any default pid_max's live range
+    while True:
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return pid
+        except OSError:
+            return pid
+        pid -= 13
+
+
+def plant_stale_lock(target, pid: int | None = None,
+                     age: float = 3600.0) -> str:
+    """Fabricate ``<target>.lock`` held by a dead pid, ``age`` seconds
+    old — what a crashed softlock holder leaves behind."""
+    lock_path = str(target) + ".lock"
+    os.makedirs(os.path.dirname(lock_path) or ".", exist_ok=True)
+    info = {"pid": pid if pid is not None else find_dead_pid(),
+            "time": time.time() - age, "mode": "softlock"}
+    with open(lock_path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(info))
+    then = time.time() - age
+    os.utime(lock_path, (then, then))
+    return lock_path

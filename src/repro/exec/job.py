@@ -232,6 +232,9 @@ class JobOutcome:
     metrics: dict[str, Any] | None = None
     resilient: dict[str, Any] | None = None
     error: str = ""
+    # Set with error when the job crossed the poison threshold and the
+    # sweep kept going; strict mode does not raise for these.
+    quarantined: bool = False
     wall_seconds: float = 0.0
     # Set by the runner when this outcome came from the cache; not
     # persisted (a cached copy of a cached copy is still one result).

@@ -1,0 +1,147 @@
+"""The sweep journal: what a sweep did, durable enough to resume.
+
+One JSONL file per store directory (``.repro/sweep-journal.jsonl``),
+appended through :mod:`repro.io.safety` so records survive worker
+crashes and concurrent writers.  The runner writes one event line per
+job transition:
+
+``begin``       a sweep started (sweep id, point count, resume flag)
+``done``        a job completed successfully (its digest is now cached)
+``fail``        a job exhausted its attempts this run (total failure
+                count across runs rides along)
+``quarantine``  a job crossed the poison threshold; resumed sweeps skip
+                it instead of burning retries on it again
+
+:meth:`SweepJournal.load` folds the event log into per-digest state:
+a later ``done`` clears earlier failures (the job recovered — e.g. a
+transient host issue), while ``quarantine`` sticks until a success.
+Uncacheable jobs (no digest) are keyed by their tag so supervision
+still applies; two distinct uncacheable jobs sharing a tag share fate,
+which is why sources should provide digests where possible.
+
+An interrupted sweep therefore restarts as: completed digests hit the
+result cache, quarantined digests are skipped with a synthetic error
+outcome, and previously-failed digests resume with their failure count
+intact — ``repro ... --resume`` in the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.io.safety import append_line, read_jsonl, replace_file
+
+JOURNAL_FILENAME = "sweep-journal.jsonl"
+JOURNAL_SCHEMA = 1
+
+
+@dataclass
+class JournalState:
+    """The folded view of a journal file."""
+
+    done: set[str] = field(default_factory=set)
+    failures: dict[str, int] = field(default_factory=dict)
+    quarantined: set[str] = field(default_factory=set)
+    errors: dict[str, str] = field(default_factory=dict)
+    sweep_id: str = ""
+    points: int = 0
+    skipped: int = 0   # corrupt journal lines tolerated on load
+
+    def failure_count(self, key: str | None) -> int:
+        return self.failures.get(key, 0) if key else 0
+
+    def is_quarantined(self, key: str | None) -> bool:
+        return key in self.quarantined if key else False
+
+
+class SweepJournal:
+    """Append-only JSONL journal of sweep progress.
+
+    ``begin(resume=False)`` truncates the journal (a fresh sweep owns
+    the file); ``begin(resume=True)`` loads and returns the prior state
+    first, then appends a new ``begin`` marker so the log shows the
+    restart.  All appends are locked + fsynced single lines.
+    """
+
+    def __init__(self, root: str | Path = ".repro",
+                 lock_timeout: float = 10.0) -> None:
+        self.root = Path(root)
+        self.path = self.root / JOURNAL_FILENAME
+        self.lock_timeout = lock_timeout
+
+    # -- writing --------------------------------------------------------------
+
+    def _append(self, event: str, **payload) -> None:
+        entry = {"schema": JOURNAL_SCHEMA, "event": event, **payload}
+        append_line(self.path, json.dumps(entry, sort_keys=True),
+                    timeout=self.lock_timeout)
+
+    def begin(self, sweep_id: str, points: int,
+              resume: bool = False) -> JournalState:
+        """Open the journal for one :meth:`SweepRunner.run` call."""
+        state = self.load() if resume else JournalState()
+        line = json.dumps(
+            {"schema": JOURNAL_SCHEMA, "event": "begin",
+             "sweep_id": sweep_id, "points": points, "resume": resume},
+            sort_keys=True,
+        )
+        if resume:
+            append_line(self.path, line, timeout=self.lock_timeout)
+        else:
+            replace_file(self.path, line + "\n")
+        return state
+
+    def record_done(self, key: str, tag: str = "") -> None:
+        self._append("done", key=key, tag=tag)
+
+    def record_fail(self, key: str, tag: str, error: str,
+                    failures: int) -> None:
+        self._append("fail", key=key, tag=tag, error=error[:500],
+                     failures=failures)
+
+    def record_quarantine(self, key: str, tag: str, error: str,
+                          failures: int) -> None:
+        self._append("quarantine", key=key, tag=tag, error=error[:500],
+                     failures=failures)
+
+    # -- reading --------------------------------------------------------------
+
+    def load(self) -> JournalState:
+        """Fold the event log (tolerating torn lines) into state."""
+        state = JournalState()
+        read = read_jsonl(self.path)
+        state.skipped = len(read.skipped)
+        for _, data in read.rows:
+            if data.get("schema") != JOURNAL_SCHEMA:
+                continue
+            event = data.get("event")
+            key = data.get("key")
+            if event == "begin":
+                state.sweep_id = data.get("sweep_id", "")
+                state.points = data.get("points", 0)
+                continue
+            if not isinstance(key, str) or not key:
+                continue
+            if event == "done":
+                state.done.add(key)
+                state.failures.pop(key, None)
+                state.quarantined.discard(key)
+                state.errors.pop(key, None)
+            elif event == "fail":
+                state.done.discard(key)
+                state.failures[key] = max(
+                    state.failures.get(key, 0),
+                    data.get("failures", 0) or 0,
+                )
+                state.errors[key] = data.get("error", "")
+            elif event == "quarantine":
+                state.done.discard(key)
+                state.quarantined.add(key)
+                state.failures[key] = max(
+                    state.failures.get(key, 0),
+                    data.get("failures", 0) or 0,
+                )
+                state.errors[key] = data.get("error", "")
+        return state

@@ -9,16 +9,25 @@ Guarantees, independent of ``jobs``:
   unpicklable job all run in-process with no pool; a broken pool falls
   back to in-process execution for the affected points.
 * **Bounded failures** — each job gets a wall-clock budget (enforced by
-  ``SIGALRM`` inside the worker, since a running pool future cannot be
-  cancelled) and one retry; errors are folded into the outcome and, in
-  strict mode, raised once as a :class:`SweepError` after every point
-  has been collected.
+  an interval timer inside the worker, since a running pool future
+  cannot be cancelled) and supervised retries: seeded-deterministic
+  exponential backoff with jitter between attempts, and poison-job
+  quarantine — a job whose total failure count (accumulated across
+  runs in the sweep journal) crosses ``quarantine_after`` is recorded
+  as quarantined and the sweep *continues* instead of raising.
+* **Resumability** — with a :class:`~repro.exec.journal.SweepJournal`
+  attached, an interrupted sweep restarts with ``resume=True``:
+  completed digests come back as cache hits, quarantined digests are
+  skipped with a synthetic error outcome, and earlier failure counts
+  carry over.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import pickle
+import random
 import signal
 import time
 from concurrent.futures import (
@@ -30,26 +39,54 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.exec.cache import ResultCache
+from repro.exec.chaos import maybe_crash_worker
 from repro.exec.job import JobOutcome, JobTimeoutError, SimJob, execute_job
+from repro.exec.journal import JournalState, SweepJournal
+
+DEFAULT_QUARANTINE_AFTER = 3
 
 
 def run_job_with_timeout(job: SimJob, timeout: float | None) -> JobOutcome:
-    """Pool entry point: one job under an optional SIGALRM budget."""
+    """Pool entry point: one job under an optional wall-clock budget.
+
+    Uses :func:`signal.setitimer` where available so sub-second budgets
+    are honoured exactly (``signal.alarm`` only counts whole seconds);
+    the timer is *always* cancelled in the ``finally`` block so a
+    leftover SIGALRM can never fire into a later job executed by the
+    same pool worker.
+    """
+    maybe_crash_worker(job)
     if not timeout or timeout <= 0 or not hasattr(signal, "SIGALRM"):
         return execute_job(job)
 
     def _expired(signum, frame):
         raise JobTimeoutError(
-            f"job {job.app!r} exceeded {timeout:.0f}s"
+            f"job {job.app!r} exceeded {timeout:g}s"
         )
 
+    use_itimer = hasattr(signal, "setitimer")
     previous = signal.signal(signal.SIGALRM, _expired)
-    signal.alarm(max(1, int(timeout)))
+    if use_itimer:
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    else:  # pragma: no cover - platforms without setitimer
+        signal.alarm(max(1, int(timeout)))
     try:
         return execute_job(job)
     finally:
-        signal.alarm(0)
+        if use_itimer:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+        else:  # pragma: no cover
+            signal.alarm(0)
         signal.signal(signal.SIGALRM, previous)
+
+
+def _delayed_run(job: SimJob, timeout: float | None,
+                 delay: float) -> JobOutcome:
+    """Retry entry point: back off inside the worker, not the master,
+    so the scheduling loop keeps collecting other completions."""
+    if delay > 0:
+        time.sleep(delay)
+    return run_job_with_timeout(job, timeout)
 
 
 class SweepError(RuntimeError):
@@ -65,6 +102,7 @@ class SweepReport:
     executed: int = 0
     retried: int = 0
     errors: int = 0
+    quarantined: int = 0
     jobs: int = 1
     wall_seconds: float = 0.0
     fallback: str = ""   # why a parallel request ran in-process, if it did
@@ -79,6 +117,8 @@ class SweepReport:
                 f"{self.wall_seconds:.2f}s")
         if self.retried:
             text += f", {self.retried} retried"
+        if self.quarantined:
+            text += f", {self.quarantined} quarantined"
         if self.errors:
             text += f", {self.errors} FAILED"
         if self.fallback:
@@ -96,13 +136,58 @@ class SweepRunner:
         timeout: float | None = None,
         retries: int = 1,
         strict: bool = True,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        backoff_seed: int = 0,
+        quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
+        journal: SweepJournal | None = None,
+        resume: bool = False,
     ) -> None:
         self.jobs = max(1, jobs)
         self.cache = cache
         self.timeout = timeout
         self.retries = max(0, retries)
         self.strict = strict
+        self.backoff_base = max(0.0, backoff_base)
+        self.backoff_cap = max(0.0, backoff_cap)
+        self.backoff_seed = backoff_seed
+        self.quarantine_after = max(1, quarantine_after)
+        self.journal = journal
+        self.resume = resume
         self.report = SweepReport()
+        self._failures: dict[int, int] = {}
+        self._keys: dict[int, str] = {}
+        self._digests: list[str | None] = []
+
+    # -- supervision ----------------------------------------------------------
+
+    def backoff_delay(self, key: str, attempt: int) -> float:
+        """Deterministic exponential backoff with jitter.
+
+        Seeded from (runner seed, job key, attempt) so two runs of the
+        same sweep sleep identically — retry schedules are part of the
+        reproducibility contract, like everything else here.  Jitter
+        spans [0.5x, 1.5x) of the exponential step to decorrelate
+        concurrent retries against a shared bottleneck.
+        """
+        if self.backoff_base <= 0:
+            return 0.0
+        step = self.backoff_base * (2 ** attempt)
+        rng = random.Random(f"{self.backoff_seed}:{key}:{attempt}")
+        return min(self.backoff_cap, step * rng.uniform(0.5, 1.5))
+
+    @staticmethod
+    def _job_key(job: SimJob, digest: str | None, index: int) -> str:
+        """The supervision key a job is journaled under."""
+        if digest:
+            return digest
+        if job.tag:
+            return f"tag:{job.tag}"
+        return f"index:{index}"
+
+    def _sweep_id(self) -> str:
+        blob = "\n".join(self._keys[i] for i in sorted(self._keys))
+        return hashlib.sha256(blob.encode()).hexdigest()[:12]
 
     # -- execution ------------------------------------------------------------
 
@@ -112,7 +197,12 @@ class SweepRunner:
         report = self.report = SweepReport(points=len(jobs), jobs=self.jobs)
         start = time.perf_counter()
         results: list[JobOutcome | None] = [None] * len(jobs)
-        digests = [job.digest() for job in jobs]
+        digests = self._digests = [job.digest() for job in jobs]
+        self._failures = {}
+        self._keys = {
+            i: self._job_key(job, digests[i], i)
+            for i, job in enumerate(jobs)
+        }
 
         pending: list[int] = []
         for index, job in enumerate(jobs):
@@ -123,6 +213,31 @@ class SweepRunner:
                 report.hits += 1
             else:
                 pending.append(index)
+
+        state = JournalState()
+        if self.journal is not None:
+            state = self.journal.begin(
+                self._sweep_id(), len(jobs), resume=self.resume
+            )
+            # Poison jobs recorded by an earlier (crashed or exhausted)
+            # run are skipped outright: the sweep keeps going.
+            runnable = []
+            for index in pending:
+                key = self._keys[index]
+                if state.is_quarantined(key):
+                    outcome = JobOutcome(
+                        app=jobs[index].app,
+                        error=(f"quarantined after "
+                               f"{state.failure_count(key)} failures "
+                               f"(journal {self.journal.path}): "
+                               f"{state.errors.get(key, 'unknown error')}"),
+                        quarantined=True,
+                    )
+                    results[index] = outcome
+                    report.quarantined += 1
+                else:
+                    runnable.append(index)
+            pending = runnable
         report.executed = len(pending)
 
         if pending:
@@ -130,17 +245,13 @@ class SweepRunner:
                 reason = self._unpicklable(jobs, pending)
                 if reason:
                     report.fallback = reason
-                    executed = self._run_serial(jobs, pending)
+                    executed = self._run_serial(jobs, pending, state)
                 else:
-                    executed = self._run_pool(jobs, pending)
+                    executed = self._run_pool(jobs, pending, state)
             else:
-                executed = self._run_serial(jobs, pending)
+                executed = self._run_serial(jobs, pending, state)
             for index in pending:
                 results[index] = executed[index]
-            # Store in input order so the cache file is deterministic too.
-            if self.cache is not None:
-                for index in pending:
-                    self.cache.put(digests[index], executed[index])
 
         outcomes = [
             outcome if outcome is not None else JobOutcome(
@@ -149,33 +260,93 @@ class SweepRunner:
             for i, outcome in enumerate(results)
         ]
         report.errors = sum(1 for o in outcomes if o.error)
+        report.quarantined = sum(1 for o in outcomes if o.quarantined)
         report.wall_seconds = round(time.perf_counter() - start, 6)
-        if self.strict and report.errors:
+        hard_failures = [
+            (i, o) for i, o in enumerate(outcomes)
+            if o.error and not o.quarantined
+        ]
+        if self.strict and hard_failures:
             failures = [
                 f"{jobs[i].tag or o.app}: {o.error}"
-                for i, o in enumerate(outcomes) if o.error
+                for i, o in hard_failures
             ]
             raise SweepError(
-                f"{report.errors} of {report.points} sweep points failed: "
-                + "; ".join(failures[:4])
+                f"{len(hard_failures)} of {report.points} sweep points "
+                "failed: " + "; ".join(failures[:4])
             )
         return outcomes
 
+    def _finalize(
+        self,
+        jobs: list[SimJob],
+        index: int,
+        outcome: JobOutcome,
+        state: JournalState,
+    ) -> JobOutcome:
+        """Durability point: journal and cache one completed sweep point.
+
+        Called the moment a point's outcome is final (retries exhausted
+        or success), not at end of batch, so a sweep killed mid-flight
+        resumes from every point that finished instead of losing the
+        whole batch.  A job's failure count accumulates across runs
+        (the journal carries it); crossing ``quarantine_after`` marks
+        the outcome quarantined so strict mode lets the sweep's result
+        stand and a resumed sweep skips the job entirely.
+        """
+        key = self._keys[index]
+        tag = jobs[index].tag or outcome.app
+        if not outcome.error:
+            # Cache BEFORE journaling done: a crash between the two
+            # leaves a cached-but-unjournaled point (harmless — resume
+            # still hits the cache), never a journaled-done point whose
+            # result is missing.
+            if self.cache is not None:
+                self.cache.put(self._digests[index], outcome)
+            if self.journal is not None:
+                self.journal.record_done(key, tag)
+        else:
+            total = state.failure_count(key) + self._failures.get(index, 1)
+            if self.journal is not None:
+                self.journal.record_fail(key, tag, outcome.error, total)
+            if total >= self.quarantine_after:
+                outcome.quarantined = True
+                outcome.error = (
+                    f"quarantined after {total} failures: {outcome.error}"
+                )
+                if self.journal is not None:
+                    self.journal.record_quarantine(
+                        key, tag, outcome.error, total
+                    )
+        return outcome
+
     # -- serial path ----------------------------------------------------------
 
-    def _attempt(self, job: SimJob) -> JobOutcome:
+    def _attempt(self, index: int, job: SimJob) -> JobOutcome:
         outcome = run_job_with_timeout(job, self.timeout)
-        for _ in range(self.retries):
+        failures = 1 if outcome.error else 0
+        for attempt in range(self.retries):
             if not outcome.error:
                 break
             self.report.retried += 1
+            delay = self.backoff_delay(self._keys[index], attempt)
+            if delay > 0:
+                time.sleep(delay)
             outcome = run_job_with_timeout(job, self.timeout)
+            if outcome.error:
+                failures += 1
+        self._failures[index] = failures
         return outcome
 
     def _run_serial(
-        self, jobs: list[SimJob], pending: list[int]
+        self, jobs: list[SimJob], pending: list[int], state: JournalState
     ) -> dict[int, JobOutcome]:
-        return {index: self._attempt(jobs[index]) for index in pending}
+        return {
+            index: self._finalize(
+                jobs, index, self._attempt(index, jobs[index]), state
+            )
+            for index in pending
+        }
 
     # -- pool path ------------------------------------------------------------
 
@@ -191,7 +362,7 @@ class SweepRunner:
         return ""
 
     def _run_pool(
-        self, jobs: list[SimJob], pending: list[int]
+        self, jobs: list[SimJob], pending: list[int], state: JournalState
     ) -> dict[int, JobOutcome]:
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
@@ -199,6 +370,7 @@ class SweepRunner:
         )
         out: dict[int, JobOutcome] = {}
         attempts = dict.fromkeys(pending, 0)
+        failures = dict.fromkeys(pending, 0)
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
             remaining = {
@@ -216,19 +388,29 @@ class SweepRunner:
                             app=jobs[index].app,
                             error=f"{type(exc).__name__}: {exc}",
                         )
+                    if outcome.error:
+                        failures[index] += 1
                     if outcome.error and attempts[index] < self.retries:
+                        delay = self.backoff_delay(
+                            self._keys[index], attempts[index]
+                        )
                         attempts[index] += 1
                         self.report.retried += 1
                         try:
                             retry = pool.submit(
-                                run_job_with_timeout, jobs[index],
-                                self.timeout,
+                                _delayed_run, jobs[index],
+                                self.timeout, delay,
                             )
                             remaining[retry] = index
                             continue
                         except Exception:   # pool unusable: run inline
+                            if delay > 0:
+                                time.sleep(delay)
                             outcome = run_job_with_timeout(
                                 jobs[index], self.timeout
                             )
-                    out[index] = outcome
+                            if outcome.error:
+                                failures[index] += 1
+                    self._failures[index] = failures[index]
+                    out[index] = self._finalize(jobs, index, outcome, state)
         return out

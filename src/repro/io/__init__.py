@@ -1,0 +1,45 @@
+"""Crash-safe storage primitives shared by the exec/obs JSONL stores.
+
+Everything that persists across a crash in this repo is a JSONL file
+(the result cache, the run store, the sweep journal).  This package is
+the one place that knows how to write those files so a crash — of this
+process, of a pool worker, of a concurrent writer — never loses or
+corrupts a committed record:
+
+* :class:`~repro.io.safety.FileLock` — advisory exclusive locks
+  (``fcntl.flock`` where available, O_EXCL lockfiles elsewhere) with
+  stale-lock detection and breaking;
+* :func:`~repro.io.safety.append_line` — durable appends (single write
+  + flush + fsync under the lock, healing a torn trailing line first);
+* :func:`~repro.io.safety.replace_file` — atomic whole-file replace
+  (tmp + fsync + rename + directory fsync), the compaction primitive;
+* :func:`~repro.io.safety.read_jsonl` — a torn-write-tolerant reader
+  that skips corrupt lines with a :class:`~repro.io.safety.CorruptLineWarning`
+  naming the file and line number, never raising.
+
+See docs/robustness.md for the exact guarantees.
+"""
+
+from repro.io.safety import (
+    CorruptLineWarning,
+    FileLock,
+    JsonlRead,
+    LockTimeoutError,
+    StaleLockWarning,
+    append_line,
+    pid_alive,
+    read_jsonl,
+    replace_file,
+)
+
+__all__ = [
+    "CorruptLineWarning",
+    "FileLock",
+    "JsonlRead",
+    "LockTimeoutError",
+    "StaleLockWarning",
+    "append_line",
+    "pid_alive",
+    "read_jsonl",
+    "replace_file",
+]

@@ -12,8 +12,12 @@ wall clock, fast/dense mode — to an append-only JSONL store
 The schema is versioned (:data:`SCHEMA_VERSION`); records with an
 unknown schema or corrupt lines are skipped on read, never fatal, so an
 old store survives upgrades.  Records are plain sorted-key JSON and the
-store is append-only — two runs never interleave partial lines because
-each record is a single ``write`` of one line.
+store is append-only; writes go through :mod:`repro.io.safety` — each
+record is one line, written + flushed + fsynced under the store file's
+advisory lock (run-id assignment happens inside the same critical
+section), so concurrent writers never interleave or duplicate ids, and
+a writer killed mid-append leaves at most one torn trailing line, which
+reads skip with a warning and :meth:`RunStore.compact` removes.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any, Iterable
 
+from repro.io.safety import FileLock, append_line, read_jsonl, replace_file
 from repro.obs.profile import COLUMNS
 
 SCHEMA_VERSION = 1
@@ -210,66 +215,96 @@ def record_from_outcome(
 class RunStore:
     """Append-only JSONL store of :class:`RunRecord` documents."""
 
-    def __init__(self, root: str | Path = DEFAULT_STORE_DIR) -> None:
+    def __init__(
+        self,
+        root: str | Path = DEFAULT_STORE_DIR,
+        lock_timeout: float = 10.0,
+    ) -> None:
         self.root = Path(root)
         self.path = self.root / STORE_FILENAME
+        self.lock_timeout = lock_timeout
+        self.skipped = 0   # corrupt lines seen by the last records() read
 
     # -- writing --------------------------------------------------------------
 
     def append(self, record: RunRecord) -> RunRecord:
-        """Assign a run id and persist the record; returns it."""
-        self.root.mkdir(parents=True, exist_ok=True)
-        if not record.run_id:
-            record.run_id = f"{self._count_lines() + 1:06d}"
+        """Assign a run id and persist the record; returns it.
+
+        Id assignment and the append happen under the store file's
+        advisory lock, so concurrent writers cannot race to the same id
+        or interleave lines; the line is fsynced before the lock drops.
+        """
         if not record.timestamp:
             record.timestamp = time.strftime(
                 "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
             )
-        line = json.dumps(record.to_dict(), sort_keys=True)
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
+        with FileLock(self.path, timeout=self.lock_timeout):
+            if not record.run_id:
+                record.run_id = f"{self._next_id():06d}"
+            line = json.dumps(record.to_dict(), sort_keys=True)
+            append_line(self.path, line, lock=False)
         return record
 
-    def _count_lines(self) -> int:
+    def _next_id(self) -> int:
+        """One past the highest id in use (not the line count, which
+        shrinks under compaction and would recycle ids)."""
         if not self.path.exists():
-            return 0
+            return 1
+        highest = lines = 0
         with open(self.path, "r", encoding="utf-8") as handle:
-            return sum(1 for _ in handle)
+            for line in handle:
+                lines += 1
+                try:
+                    run_id = json.loads(line).get("run_id", "")
+                except (json.JSONDecodeError, AttributeError):
+                    continue
+                if isinstance(run_id, str) and run_id.isdigit():
+                    highest = max(highest, int(run_id))
+        return max(highest, lines) + 1
 
     # -- reading --------------------------------------------------------------
 
     def records(self) -> list[RunRecord]:
-        """Every readable record, oldest first (bad lines skipped)."""
-        if not self.path.exists():
-            return []
+        """Every readable record, oldest first.
+
+        Corrupt lines — including a torn trailing line from a writer
+        killed mid-append — are skipped with a warning naming the file
+        and line number; the count lands in :attr:`skipped`.
+        """
+        read = read_jsonl(self.path)
+        self.skipped = len(read.skipped)
         out: list[RunRecord] = []
-        with open(self.path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    data = json.loads(line)
-                except json.JSONDecodeError:
-                    continue
-                if not isinstance(data, dict):
-                    continue
-                if data.get("schema", 0) > SCHEMA_VERSION:
-                    continue
-                try:
-                    out.append(RunRecord.from_dict(data))
-                except TypeError:
-                    continue
+        for _, data in read.rows:
+            if data.get("schema", 0) > SCHEMA_VERSION:
+                continue
+            try:
+                out.append(RunRecord.from_dict(data))
+            except TypeError:
+                self.skipped += 1
         return out
+
+    def ensure_readable(self) -> list[RunRecord]:
+        """Records, or a KeyError whose message says in one line why
+        there are none (missing file / empty / entirely corrupt)."""
+        if not self.path.exists():
+            raise KeyError(f"run store {self.path} does not exist — "
+                           "run e.g. `repro simulate SPEC-BFS` first")
+        records = self.records()
+        if not records:
+            if self.skipped:
+                raise KeyError(
+                    f"run store {self.path} has no readable records "
+                    f"({self.skipped} corrupt lines — "
+                    "try `repro runs compact`)")
+            raise KeyError(f"run store {self.path} is empty")
+        return records
 
     def get(self, ref: str) -> RunRecord:
         """Resolve ``ref``: a run id (zero-padding optional), an id
 
         prefix, or ``latest`` / a negative index counted from the end.
         """
-        records = self.records()
-        if not records:
-            raise KeyError(f"run store {self.path} is empty")
+        records = self.ensure_readable()
         if ref in ("latest", "-1"):
             return records[-1]
         if ref.startswith("-") and ref[1:].isdigit():
@@ -286,6 +321,30 @@ class RunStore:
         if not matches:
             raise KeyError(f"no run {ref!r} in {self.path}")
         return matches[-1]
+
+    # -- maintenance (repro runs compact) -------------------------------------
+
+    def compact(self) -> dict:
+        """Rewrite the store dropping corrupt/torn lines only.
+
+        Run ids are preserved (they are stored in the records, not
+        derived from line numbers on read), and records from *newer*
+        schemas are kept verbatim — compaction must never destroy data
+        a future version could still read.  Atomic under the lock.
+        """
+        with FileLock(self.path, timeout=self.lock_timeout):
+            read = read_jsonl(self.path, warn=False)
+            text = "".join(
+                json.dumps(data, sort_keys=True) + "\n"
+                for _, data in read.rows
+            )
+            if not read.missing:
+                replace_file(self.path, text)
+        return {
+            "before_lines": read.lines,
+            "after_lines": len(read.rows),
+            "dropped_corrupt": len(read.skipped),
+        }
 
 
 # -- diffing ----------------------------------------------------------------

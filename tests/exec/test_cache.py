@@ -96,6 +96,77 @@ class TestRobustness:
         assert ResultCache(tmp_path).get("d" * 16).cached is False
 
 
+class TestMaintenance:
+    """The `repro cache stats|verify|compact|prune` surface."""
+
+    def messy_cache(self, tmp_path) -> ResultCache:
+        """Two live entries, one superseded line, one stale-schema
+        entry, one malformed line, one torn trailing line."""
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 16, outcome(cycles=1))
+        cache.put("a" * 16, outcome(cycles=2))   # supersedes line 1
+        cache.put("b" * 16, outcome(cycles=3))
+        stale = {"schema": JOB_SCHEMA + 1, "digest": "c" * 16,
+                 "outcome": outcome(cycles=4).to_dict()}
+        with open(cache.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(stale) + "\n")
+            handle.write('{"schema": %d, "digest": 42}\n' % JOB_SCHEMA)
+            handle.write('{"torn mid-wri')   # no newline: torn append
+        return ResultCache(tmp_path)
+
+    def test_stats_accounting(self, tmp_path):
+        stats = self.messy_cache(tmp_path).stats()
+        assert stats["exists"]
+        assert stats["lines"] == 6
+        assert stats["entries"] == 2
+        assert stats["superseded"] == 1
+        assert stats["stale_schema"] == 1
+        assert stats["malformed"] == 1
+        assert stats["corrupt"] == 1
+
+    def test_verify_flags_damage_with_line_numbers(self, tmp_path):
+        report = self.messy_cache(tmp_path).verify()
+        assert not report["ok"]
+        assert report["corrupt_lines"] == [6]
+        assert report["undecodable"] == 0
+
+    def test_verify_clean_cache_is_ok(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("a" * 16, outcome())
+        assert cache.verify()["ok"]
+
+    def test_compact_heals_but_keeps_other_schemas(self, tmp_path):
+        cache = self.messy_cache(tmp_path)
+        result = cache.compact()
+        assert result["dropped_corrupt"] == 1
+        assert result["dropped_superseded"] == 1
+        assert result["entries"] == 2
+        # live a + live b + retained stale-schema entry
+        assert result["after_lines"] == 3
+        assert cache.verify()["ok"]
+        assert cache.get("a" * 16).cycles == 2
+        assert cache.get("b" * 16).cycles == 3
+
+    def test_prune_drops_dead_weight(self, tmp_path):
+        cache = self.messy_cache(tmp_path)
+        result = cache.prune()
+        assert result["after_lines"] == 2
+        assert result["dropped_stale_schema"] == 2   # stale + malformed
+        assert cache.verify()["ok"]
+
+    def test_prune_caps_to_newest_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put(f"{i:016d}", outcome(cycles=i))
+        result = cache.prune(max_entries=2)
+        assert result["entries"] == 2
+        assert result["dropped_over_cap"] == 3
+        reopened = ResultCache(tmp_path)
+        assert reopened.get(f"{4:016d}").cycles == 4
+        assert reopened.get(f"{3:016d}").cycles == 3
+        assert reopened.get(f"{0:016d}") is None
+
+
 class TestRunnerIntegration:
     """The runner consults the cache before ever invoking the simulator."""
 

@@ -1,0 +1,204 @@
+"""Worker supervision: backoff, quarantine, the journal, and --resume."""
+
+import json
+
+import pytest
+
+from repro.exec import (
+    CallableSource,
+    JournalState,
+    ResultCache,
+    SimJob,
+    SweepError,
+    SweepJournal,
+    SweepRunner,
+)
+from repro.exec.journal import JOURNAL_SCHEMA
+
+
+def _boom():
+    raise RuntimeError("always broken")
+
+
+def bad_job(tag="poison") -> SimJob:
+    return SimJob(source=CallableSource(_boom), tag=tag)
+
+
+class TestBackoff:
+    def test_deterministic_per_seed_key_attempt(self):
+        a = SweepRunner(backoff_seed=7)
+        b = SweepRunner(backoff_seed=7)
+        assert a.backoff_delay("k", 0) == b.backoff_delay("k", 0)
+        assert a.backoff_delay("k", 0) != a.backoff_delay("k", 1)
+        assert a.backoff_delay("k", 0) != a.backoff_delay("j", 0)
+        c = SweepRunner(backoff_seed=8)
+        assert a.backoff_delay("k", 0) != c.backoff_delay("k", 0)
+
+    def test_exponential_envelope_with_jitter(self):
+        runner = SweepRunner(backoff_base=0.1, backoff_cap=1e9)
+        for attempt in range(6):
+            delay = runner.backoff_delay("k", attempt)
+            step = 0.1 * 2 ** attempt
+            assert 0.5 * step <= delay < 1.5 * step
+
+    def test_cap_bounds_late_attempts(self):
+        runner = SweepRunner(backoff_base=0.1, backoff_cap=0.3)
+        assert runner.backoff_delay("k", 10) == 0.3
+
+    def test_zero_base_disables_backoff(self):
+        runner = SweepRunner(backoff_base=0.0)
+        assert runner.backoff_delay("k", 3) == 0.0
+
+
+class TestQuarantine:
+    def test_poison_job_is_quarantined_not_fatal(self, tmp_path):
+        runner = SweepRunner(
+            retries=2, quarantine_after=3, backoff_base=0.0,
+            journal=SweepJournal(tmp_path), strict=True,
+        )
+        [outcome] = runner.run([bad_job()])   # 3 failures -> quarantined
+        assert outcome.quarantined
+        assert outcome.error.startswith("quarantined after 3 failures")
+        assert runner.report.quarantined == 1
+
+    def test_below_threshold_still_raises_in_strict_mode(self, tmp_path):
+        runner = SweepRunner(
+            retries=0, quarantine_after=3, backoff_base=0.0,
+            journal=SweepJournal(tmp_path), strict=True,
+        )
+        with pytest.raises(SweepError, match="poison"):
+            runner.run([bad_job()])
+
+    def test_failure_counts_accumulate_across_resumed_runs(self, tmp_path):
+        def run_once(resume):
+            runner = SweepRunner(
+                retries=0, quarantine_after=3, backoff_base=0.0,
+                journal=SweepJournal(tmp_path), strict=False,
+                resume=resume,
+            )
+            return runner.run([bad_job()])[0]
+
+        first = run_once(resume=False)    # failure 1
+        assert not first.quarantined
+        second = run_once(resume=True)    # failure 2
+        assert not second.quarantined
+        third = run_once(resume=True)     # failure 3: over the threshold
+        assert third.quarantined
+
+        # A fourth resumed run never executes the job at all.
+        runner = SweepRunner(
+            retries=0, quarantine_after=3, backoff_base=0.0,
+            journal=SweepJournal(tmp_path), strict=True, resume=True,
+        )
+        [skipped] = runner.run([bad_job()])
+        assert skipped.quarantined
+        assert "journal" in skipped.error
+        assert runner.report.executed == 0
+
+    def test_fresh_run_clears_quarantine(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        runner = SweepRunner(retries=2, quarantine_after=3,
+                             backoff_base=0.0, journal=journal,
+                             strict=False)
+        assert runner.run([bad_job()])[0].quarantined
+        # resume=False truncates the journal: the job runs again.
+        fresh = SweepRunner(retries=0, quarantine_after=3,
+                            backoff_base=0.0, journal=journal,
+                            strict=False, resume=False)
+        [outcome] = fresh.run([bad_job()])
+        assert not outcome.quarantined
+        assert fresh.report.executed == 1
+
+
+class TestJournal:
+    def test_events_fold_into_state(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.begin("s1", points=3)
+        journal.record_fail("k1", "a", "Error: x", failures=1)
+        journal.record_done("k2", "b")
+        journal.record_quarantine("k3", "c", "Error: y", failures=3)
+        state = journal.load()
+        assert state.failures == {"k1": 1, "k3": 3}
+        assert state.done == {"k2"}
+        assert state.quarantined == {"k3"}
+        assert state.sweep_id == "s1" and state.points == 3
+
+    def test_done_clears_prior_failures_and_quarantine(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.begin("s1", points=1)
+        journal.record_quarantine("k", "a", "Error: x", failures=3)
+        journal.record_done("k", "a")
+        state = journal.load()
+        assert state.done == {"k"}
+        assert not state.is_quarantined("k")
+        assert state.failure_count("k") == 0
+
+    def test_begin_fresh_truncates_resume_appends(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.begin("s1", points=1)
+        journal.record_done("k", "a")
+        journal.begin("s1", points=1, resume=True)
+        assert journal.load().done == {"k"}
+        journal.begin("s2", points=1, resume=False)
+        state = journal.load()
+        assert state.done == set()
+        assert state.sweep_id == "s2"
+
+    def test_load_tolerates_torn_lines(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.begin("s1", points=2)
+        journal.record_done("k1", "a")
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"schema": %d, "event": "done", "key": "k2'
+                         % JOURNAL_SCHEMA)   # torn: no close quote/newline
+        with pytest.warns(UserWarning):
+            state = journal.load()
+        assert state.done == {"k1"}
+        assert state.skipped == 1
+        # The next append heals the tail, so k3 is not glued to the tear.
+        journal.record_done("k3", "c")
+        with pytest.warns(UserWarning):
+            assert journal.load().done == {"k1", "k3"}
+
+    def test_unknown_schema_lines_are_ignored(self, tmp_path):
+        journal = SweepJournal(tmp_path)
+        journal.begin("s1", points=1)
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(
+                {"schema": JOURNAL_SCHEMA + 1, "event": "done",
+                 "key": "future"}) + "\n")
+        assert journal.load().done == set()
+
+
+class TestResume:
+    def test_completed_points_come_back_as_cache_hits(self, tmp_path):
+        from repro.eval.platforms import HARP
+        from repro.exec import GraphAppSource
+        from repro.sim.accelerator import SimConfig
+
+        jobs = [
+            SimJob(
+                source=GraphAppSource("SPEC-BFS", 60, 150, seed=s, start=0),
+                platform=HARP, config=SimConfig(), tag=f"resume:{s}",
+            )
+            for s in range(3)
+        ]
+        first = SweepRunner(cache=ResultCache(tmp_path),
+                            journal=SweepJournal(tmp_path))
+        first.run(jobs)
+        assert first.report.executed == 3
+
+        resumed = SweepRunner(cache=ResultCache(tmp_path),
+                              journal=SweepJournal(tmp_path), resume=True)
+        outcomes = resumed.run(jobs)
+        assert resumed.report.hits == 3
+        assert resumed.report.executed == 0
+        assert resumed.report.hit_rate == 1.0
+        assert all(o.cached for o in outcomes)
+
+    def test_journal_state_dataclass_defaults(self):
+        state = JournalState()
+        assert state.failure_count("anything") == 0
+        assert state.failure_count(None) == 0
+        assert not state.is_quarantined("anything")
+        assert not state.is_quarantined(None)
