@@ -1,7 +1,8 @@
 #!/usr/bin/env python
 """Gate a ``bench_smoke.py`` result against the committed baseline.
 
-Two checks, in increasing softness:
+A thin CLI over :mod:`repro.obs.regress` (the same comparator behind
+``repro regress``).  The gates are unchanged since PR 3/5:
 
 * **cycle counts** — fully deterministic, must match the baseline
   *exactly* (any drift is a behaviour change; if intentional, re-run
@@ -9,13 +10,14 @@ Two checks, in increasing softness:
 * **fast-forward speedup** — the fast/dense cycles-per-second ratio is
   machine-normalized (both runs execute on the same host, so hardware
   speed cancels), and must not regress more than ``--tolerance``
-  (default 20%) below the baseline's ratio for any app/profile.
+  (default 20%) below the baseline's ratio for any app/profile;
+* **sweep gates** (``bench_smoke.py --sweep`` documents) — per-point
+  cycle counts and the warm-cache hit rate (must be 1.0) are exact,
+  while the parallel/serial wall ratio may not fall more than
+  ``--sweep-tolerance`` (default 35%) below the baseline.
 
-Sweep-engine results (``bench_smoke.py --sweep``) are gated the same
-way: per-point cycle counts and the warm-cache hit rate (must be 1.0)
-are exact, while the parallel/serial wall ratio — also same-host
-normalized, but noisier because it depends on free cores — must not
-fall more than ``--sweep-tolerance`` (default 35%) below the baseline.
+Every failure now carries a diagnosis line (what to check, how to
+re-record) instead of a bare diff.
 
 Usage::
 
@@ -29,7 +31,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+)
+
+from repro.obs.regress import regress_bench  # noqa: E402
 
 
 def _load(path: str) -> dict:
@@ -53,81 +63,45 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     current, baseline = _load(args.current), _load(args.baseline)
-    failures: list[str] = []
+    findings = regress_bench(
+        current, baseline,
+        speedup_tolerance=args.tolerance,
+        sweep_tolerance=args.sweep_tolerance,
+    )
+    failures = [f for f in findings if f.severity == "fail"]
+    warnings_ = [f for f in findings if f.severity != "fail"]
 
-    for tag, base_cycles in sorted(baseline.get("points", {}).items()):
-        cycles = current.get("points", {}).get(tag)
-        if cycles is None:
-            failures.append(f"points[{tag}]: missing from current result")
-        elif cycles != base_cycles:
-            failures.append(
-                f"points[{tag}]: cycle count drifted "
-                f"{cycles} != {base_cycles} (baseline)"
-            )
-
-    base_sweep = baseline.get("sweep")
-    if base_sweep:
-        sweep = current.get("sweep", {})
-        hit_rate = sweep.get("warm_cache", {}).get("hit_rate", 0.0)
-        if hit_rate < 1.0:
-            failures.append(
-                f"sweep: warm-cache hit rate {hit_rate:.2f} < 1.0"
-            )
-        floor = base_sweep["parallel_speedup"] * (1.0 - args.sweep_tolerance)
-        speedup = sweep.get("parallel_speedup", 0.0)
-        if speedup < floor:
-            failures.append(
-                f"sweep: parallel speedup regressed to {speedup:.2f}x "
-                f"(baseline {base_sweep['parallel_speedup']:.2f}x, "
-                f"floor {floor:.2f}x)"
-            )
-        else:
-            print(f"sweep: parallel {speedup:.2f}x, warm-cache hit rate "
-                  f"{hit_rate:.2f} (baseline "
-                  f"{base_sweep['parallel_speedup']:.2f}x, "
-                  f"floor {floor:.2f}x) — OK")
-
-    for app, base_row in sorted(baseline.get("runs", {}).items()):
-        row = current.get("runs", {}).get(app)
-        if row is None:
-            failures.append(f"runs[{app}]: missing from current result")
-        elif row["cycles"] != base_row["cycles"]:
-            failures.append(
-                f"runs[{app}]: cycle count drifted "
-                f"{row['cycles']} != {base_row['cycles']} (baseline)"
-            )
-
-    for profile, base_apps in sorted(
-        baseline.get("fast_forward", {}).items()
+    # Positive confirmation for the gates that passed, as before.
+    sweep = current.get("sweep")
+    if baseline.get("sweep") and sweep and not any(
+        f.where.startswith("sweep/") for f in failures
     ):
-        cur_apps = current.get("fast_forward", {}).get(profile, {})
-        for app, base_row in sorted(base_apps.items()):
-            row = cur_apps.get(app)
+        print(f"sweep: parallel {sweep.get('parallel_speedup', 0.0):.2f}x, "
+              f"warm-cache hit rate "
+              f"{(sweep.get('warm_cache') or {}).get('hit_rate', 0.0):.2f} "
+              f"(baseline "
+              f"{baseline['sweep'].get('parallel_speedup', 0.0):.2f}x) — OK")
+    for profile, base_apps in sorted(
+        (baseline.get("fast_forward") or {}).items()
+    ):
+        for app in sorted(base_apps):
             where = f"fast_forward[{profile}][{app}]"
-            if row is None:
-                failures.append(f"{where}: missing from current result")
+            if any(f.where == where for f in failures):
                 continue
-            if row["cycles"] != base_row["cycles"]:
-                failures.append(
-                    f"{where}: cycle count drifted "
-                    f"{row['cycles']} != {base_row['cycles']} (baseline)"
-                )
-            floor = base_row["speedup"] * (1.0 - args.tolerance)
-            if row["speedup"] < floor:
-                failures.append(
-                    f"{where}: fast-forward speedup regressed to "
-                    f"{row['speedup']:.2f}x "
-                    f"(baseline {base_row['speedup']:.2f}x, "
-                    f"floor {floor:.2f}x)"
-                )
-            else:
+            row = (current.get("fast_forward", {}).get(profile) or {}) \
+                .get(app)
+            if isinstance(row, dict) and "speedup" in row:
                 print(f"{where}: {row['speedup']:.2f}x "
-                      f"(baseline {base_row['speedup']:.2f}x, "
-                      f"floor {floor:.2f}x) — OK")
+                      f"(baseline {base_apps[app]['speedup']:.2f}x) — OK")
 
+    for warning in warnings_:
+        print(f"warn [{warning.rule}] {warning.where}: {warning.message}")
     if failures:
         for failure in failures:
-            print(f"FAIL {failure}", file=sys.stderr)
+            print(f"FAIL {failure.where}: {failure.message}",
+                  file=sys.stderr)
+            if failure.diagnosis:
+                print(f"  -> {failure.diagnosis}", file=sys.stderr)
         return 1
     print("benchmark check passed")
     return 0

@@ -17,12 +17,19 @@ Commands
                 (stats / verify / compact / prune)
 ``diagnose``    rank a run's bottlenecks from its stored telemetry
 ``dashboard``   write the self-contained HTML telemetry dashboard
+``sweep-status``status of the running (or crashed) sweep in a store
+``regress``     rule-based regression detection over the run store
+                and BENCH_*.json trajectories
 
 Sweep-running commands (``experiment``, ``dse``, ``fault-campaign``)
-accept ``--jobs N`` (parallel workers), ``--cache/--no-cache``, and
+accept ``--jobs N`` (parallel workers), ``--cache/--no-cache``,
 ``--resume`` — an interrupted sweep restarts, skipping completed points
 via the result cache and quarantined poison points via the sweep
-journal (see docs/robustness.md).
+journal (see docs/robustness.md) — plus the fleet observability flags
+``--progress`` (live stderr heartbeat; a machine-readable
+``sweep-status.json`` is always maintained in the store directory) and
+``--fleet-trace FILE`` (merged cross-process Chrome trace, one lane per
+worker pid; open in Perfetto).
 
 ``simulate``, ``profile``, ``fault-campaign`` and ``experiment`` append
 a :class:`~repro.obs.runstore.RunRecord` to the run store
@@ -166,6 +173,16 @@ def _add_sweep_options(parser: argparse.ArgumentParser) -> None:
                              "points come back as cache hits and "
                              "quarantined (poison) points are skipped "
                              "via the sweep journal")
+    parser.add_argument("--progress", action="store_true",
+                        help="live sweep heartbeat on stderr (the "
+                             "machine-readable sweep-status.json in the "
+                             "store directory is always maintained; see "
+                             "`repro sweep-status`)")
+    parser.add_argument("--fleet-trace", metavar="FILE", default=None,
+                        help="record per-worker job spans and write the "
+                             "merged Chrome trace_event JSON here "
+                             "(open in Perfetto; one lane per worker "
+                             "pid)")
 
 
 def _runner_from_args(args: argparse.Namespace, *, strict: bool = True,
@@ -176,17 +193,72 @@ def _runner_from_args(args: argparse.Namespace, *, strict: bool = True,
     the same store directory so every CLI sweep is resumable after a
     crash; ``--no-cache`` disables both (resume is meaningless when
     completed points cannot be skipped).
+
+    Fleet observability rides the same store directory: a
+    :class:`~repro.obs.fleet.SweepProgress` always maintains
+    ``sweep-status.json`` there (heartbeat on stderr only with
+    ``--progress``), and ``--fleet-trace`` attaches a
+    :class:`~repro.obs.fleet.FleetRecorder` whose merged Chrome trace
+    :func:`_write_fleet_trace` exports once the command's sweeps are
+    done.
     """
     from repro.exec import ResultCache, SweepJournal, SweepRunner
+    from repro.obs.fleet import FleetRecorder, SweepProgress
 
     store_dir = getattr(args, "store", DEFAULT_STORE_DIR)
     cache = journal = None
     if getattr(args, "cache", True):
         cache = ResultCache(store_dir)
         journal = SweepJournal(store_dir)
+    progress = SweepProgress(store_dir,
+                             heartbeat=getattr(args, "progress", False))
+    fleet = (FleetRecorder(store_dir)
+             if getattr(args, "fleet_trace", None) else None)
     return SweepRunner(jobs=getattr(args, "jobs", 1), cache=cache,
                        strict=strict, retries=retries, journal=journal,
-                       resume=getattr(args, "resume", False))
+                       resume=getattr(args, "resume", False),
+                       progress=progress, fleet=fleet)
+
+
+def _write_fleet_trace(args: argparse.Namespace, runner) -> None:
+    """Export the merged fleet trace if ``--fleet-trace`` asked for one.
+
+    The confirmation goes to stderr: the stdout of every sweep-running
+    command is byte-stable across ``--jobs`` values and diffed in CI.
+    """
+    path = getattr(args, "fleet_trace", None)
+    if path is None or getattr(runner, "fleet", None) is None:
+        return
+    from repro.obs.fleet import write_fleet_trace
+
+    doc = write_fleet_trace(path, runner.fleet)
+    workers = doc["otherData"]["workers"]
+    print(f"wrote {path} ({len(doc['traceEvents'])} events, "
+          f"{len(workers)} workers)", file=sys.stderr)
+
+
+def _store_sweep_record(args: argparse.Namespace, runner,
+                        command: str, apps=()) -> None:
+    """Append the sweep-level RunRecord (fleet page) to the run store.
+
+    Silent on stdout for the same byte-stability reason as above; the
+    run id differs between invocations.
+    """
+    store = _store_from_args(args)
+    if store is None or runner.report.points == 0:
+        return
+    from repro.obs.runstore import record_from_sweep
+
+    try:
+        record = store.append(record_from_sweep(
+            runner, command=command, apps=tuple(apps),
+        ))
+    except OSError as exc:
+        print(f"error: could not store sweep record: {exc}",
+              file=sys.stderr)
+        return
+    print(f"stored sweep record {record.run_id} -> {store.path}",
+          file=sys.stderr)
 
 
 def _resolve_run_ref(store: RunStore, ref: str):
@@ -407,6 +479,10 @@ def cmd_fault_campaign(args: argparse.Namespace) -> int:
     ]
     outcomes = runner.run(trial_jobs)
     print(runner.report.summary(), file=sys.stderr)
+    # The merged trace covers both sweeps (baselines, then trials); no
+    # sweep-level run record here — the campaign's store contents are
+    # part of its byte-stability contract.
+    _write_fleet_trace(args, runner)
 
     for (app, trial, baseline), outcome in zip(grid, outcomes):
         if outcome.error:
@@ -472,6 +548,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
 
     kind = args.kind
     exported = {}
+    sweep_pending = None
     apps = tuple(args.apps) if args.apps else None
     if kind == "table1":
         result = experiments.run_table1()
@@ -485,6 +562,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         )
         print(reporting.format_figure9(result))
         print(runner.report.summary())
+        _write_fleet_trace(args, runner)
+        sweep_pending = (runner, "experiment:figure9", sorted(result))
         exported["figure9"] = result
     elif kind == "figure10":
         runner = _runner_from_args(args)
@@ -494,6 +573,8 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         )
         print(reporting.format_figure10(result))
         print(runner.report.summary())
+        _write_fleet_trace(args, runner)
+        sweep_pending = (runner, "experiment:figure10", sorted(result))
         exported["figure10"] = result
     elif kind == "resources":
         result = experiments.run_resources(scale=min(args.scale, 0.5))
@@ -506,6 +587,11 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     if store is not None and exported:
         count = store_experiment_results(store, **exported)
         print(f"stored {count} experiment records -> {store.path}")
+    # Stored last so `--run latest` features the sweep-level record
+    # (the fleet page) rather than an arbitrary per-point record.
+    if sweep_pending is not None:
+        runner, command, sweep_apps = sweep_pending
+        _store_sweep_record(args, runner, command, apps=sweep_apps)
     return 0
 
 
@@ -527,7 +613,11 @@ def cmd_runs(args: argparse.Namespace) -> int:
             records = store.records()
             if not records and store.skipped:
                 store.ensure_readable()
-            print(format_records_table(records))
+            if getattr(args, "json", False):
+                print(json.dumps([r.to_dict() for r in records],
+                                 indent=2, sort_keys=True))
+            else:
+                print(format_records_table(records))
         elif args.runs_command == "show":
             print(format_record(_resolve_run_ref(store, args.ref)))
         elif args.runs_command == "compact":
@@ -549,9 +639,24 @@ def cmd_runs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_lock_info(cache) -> dict:
+    """Holder info of the cache file's lock sidecar, if any."""
+    from repro.io.safety import FileLock, pid_alive
+
+    holder = FileLock(cache.path).holder()
+    info: dict = {"holder_pid": holder.get("pid"),
+                  "mode": holder.get("mode")}
+    info["alive"] = pid_alive(holder.get("pid"))
+    stamped = holder.get("time")
+    info["age_seconds"] = (round(max(0.0, time.time() - stamped), 1)
+                           if isinstance(stamped, (int, float)) else None)
+    return info
+
+
 def cmd_cache(args: argparse.Namespace) -> int:
     """Inspect and maintain the sweep result cache."""
     from repro.exec import ResultCache
+    from repro.io.safety import lock_telemetry_snapshot
 
     cache = ResultCache(args.store)
     try:
@@ -561,6 +666,14 @@ def cmd_cache(args: argparse.Namespace) -> int:
                 print(f"error: result cache {cache.path} does not exist",
                       file=sys.stderr)
                 return 1
+            lock = _cache_lock_info(cache)
+            if getattr(args, "json", False):
+                payload = dict(stats)
+                payload["path"] = str(stats["path"])
+                payload["lock"] = lock
+                payload["lock_telemetry"] = lock_telemetry_snapshot()
+                print(json.dumps(payload, indent=2, sort_keys=True))
+                return 0
             print(f"result cache {stats['path']}: "
                   f"{stats['entries']} entries in {stats['lines']} lines "
                   f"({stats['bytes']} bytes)")
@@ -568,6 +681,12 @@ def cmd_cache(args: argparse.Namespace) -> int:
                   f"stale-schema: {stats['stale_schema']}  "
                   f"malformed: {stats['malformed']}  "
                   f"corrupt: {stats['corrupt']}")
+            if lock["holder_pid"] is not None:
+                state = "alive" if lock["alive"] else "dead"
+                age = (f", stamped {lock['age_seconds']:.1f}s ago"
+                       if lock["age_seconds"] is not None else "")
+                print(f"  lock: last holder pid {lock['holder_pid']} "
+                      f"({state}{age})")
             return 0
         if args.cache_command == "verify":
             report = cache.verify()
@@ -677,6 +796,83 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep_status(args: argparse.Namespace) -> int:
+    """Report the running / finished / crashed sweep in a store dir.
+
+    Reads the atomically-rewritten ``sweep-status.json`` the runner
+    maintains, so it works while the sweep runs *and* after a crash (a
+    "running" status whose pid is gone is reported as crashed).
+    """
+    from repro.obs.fleet import format_status, load_status
+
+    status = load_status(args.store)
+    if status is None:
+        print(f"error: no sweep status in {args.store} (no sweep has "
+              "run there, or the status file is unreadable)",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(format_status(status))
+    return 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    """Rule-based regression detection (see docs/observability.md).
+
+    Without ``--bench``: group the run store into comparable series and
+    flag cycle drift (fail) and wall-clock / throughput outliers (warn).
+    With ``--bench CURRENT BASELINE``: compare two ``BENCH_*.json``
+    documents using the same gates as ``scripts/bench_check.py``.
+    Exit 1 iff any *fail*-severity finding fired; warnings alone exit 0.
+    """
+    from repro.obs.regress import (
+        format_regressions,
+        regress_bench,
+        regress_store,
+    )
+
+    try:
+        if args.bench:
+            with open(args.bench[0], "r", encoding="utf-8") as handle:
+                current = json.load(handle)
+            with open(args.bench[1], "r", encoding="utf-8") as handle:
+                baseline = json.load(handle)
+            findings = regress_bench(
+                current, baseline,
+                speedup_tolerance=args.speedup_tolerance,
+                sweep_tolerance=args.sweep_tolerance,
+                wall_band=args.wall_band,
+            )
+            source = f"{args.bench[0]} vs {args.bench[1]}"
+        else:
+            store = RunStore(args.store)
+            records = store.records()
+            findings = regress_store(
+                records,
+                wall_band=args.wall_band,
+                min_wall_samples=args.min_wall_samples,
+            )
+            source = f"{len(records)} runs in {store.path}"
+    except (OSError, ValueError) as exc:
+        print(f"error: {_error_line(exc)}", file=sys.stderr)
+        return 1
+    fails = sum(1 for f in findings if f.severity == "fail")
+    if args.json:
+        print(json.dumps({
+            "source": source,
+            "fails": fails,
+            "warnings": len(findings) - fails,
+            "findings": [f.to_dict() for f in findings],
+        }, indent=2, sort_keys=True))
+    else:
+        print(format_regressions(
+            findings, quiet_message=f"no regressions found ({source})"
+        ))
+    return 1 if fails else 0
+
+
 def cmd_dse(args: argparse.Namespace) -> int:
     from repro.exec import CliAppSource
     from repro.synthesis.dse import explore, format_frontier
@@ -693,6 +889,8 @@ def cmd_dse(args: argparse.Namespace) -> int:
     )
     print(format_frontier(result))
     print(runner.report.summary())
+    _write_fleet_trace(args, runner)
+    _store_sweep_record(args, runner, "dse", apps=(args.app,))
     best = result.best_performance()
     print(f"best performance: {best.label} at {best.cycles} cycles")
     return 0
@@ -826,7 +1024,11 @@ def build_parser() -> argparse.ArgumentParser:
                                        "store (.repro/runs.jsonl)")
     runs.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR")
     runs_sub = runs.add_subparsers(dest="runs_command", required=True)
-    runs_sub.add_parser("list", help="table of every stored run")
+    runs_list = runs_sub.add_parser("list", help="table of every stored "
+                                                 "run")
+    runs_list.add_argument("--json", action="store_true",
+                           help="emit the full records as JSON instead "
+                                "of the table")
     runs_show = runs_sub.add_parser("show", help="one run in detail")
     runs_show.add_argument("ref", help="run id, prefix, 'latest', a "
                                        "negative index, or golden:PATH")
@@ -846,7 +1048,12 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--store", default=DEFAULT_STORE_DIR, metavar="DIR",
                        help="directory holding the cache (default .repro)")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)
-    cache_sub.add_parser("stats", help="entry/line/corruption accounting")
+    cache_stats = cache_sub.add_parser(
+        "stats", help="entry/line/corruption accounting plus lock "
+                      "holder info")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="emit stats, lock holder, and lock "
+                                  "telemetry as JSON")
     cache_sub.add_parser("verify", help="deep check: every entry must "
                                         "decode; exit 1 on damage")
     cache_sub.add_parser("compact", help="drop corrupt and superseded "
@@ -884,6 +1091,48 @@ def build_parser() -> argparse.ArgumentParser:
     dashboard.add_argument("--fast", action="store_true")
     _add_store_options(dashboard)
     dashboard.set_defaults(handler=cmd_dashboard)
+
+    status = sub.add_parser(
+        "sweep-status", help="status of the running (or crashed) sweep "
+                             "in a store directory")
+    status.add_argument("--store", default=DEFAULT_STORE_DIR,
+                        metavar="DIR",
+                        help="store directory holding sweep-status.json "
+                             "(default .repro)")
+    status.add_argument("--json", action="store_true",
+                        help="emit the raw status document")
+    status.set_defaults(handler=cmd_sweep_status)
+
+    regress = sub.add_parser(
+        "regress", help="rule-based regression detection over the run "
+                        "store or BENCH_*.json files (exit 1 on any "
+                        "fail-severity finding)")
+    regress.add_argument("--store", default=DEFAULT_STORE_DIR,
+                         metavar="DIR",
+                         help="run store to analyze (default .repro)")
+    regress.add_argument("--bench", nargs=2,
+                         metavar=("CURRENT", "BASELINE"),
+                         help="compare two BENCH_*.json documents "
+                              "instead of the run store")
+    regress.add_argument("--wall-band", type=float, default=0.5,
+                         metavar="F",
+                         help="wall-clock / throughput noise band "
+                              "(default 0.5 = +50%%, warn only)")
+    regress.add_argument("--min-wall-samples", type=int, default=4,
+                         metavar="N",
+                         help="series length before wall-clock warnings "
+                              "apply (default 4)")
+    regress.add_argument("--speedup-tolerance", type=float, default=0.20,
+                         metavar="F",
+                         help="fast-forward speedup floor tolerance "
+                              "(default 0.20)")
+    regress.add_argument("--sweep-tolerance", type=float, default=0.35,
+                         metavar="F",
+                         help="parallel-sweep speedup floor tolerance "
+                              "(default 0.35)")
+    regress.add_argument("--json", action="store_true",
+                         help="emit findings as JSON")
+    regress.set_defaults(handler=cmd_regress)
 
     rtl = sub.add_parser("rtl", help="emit the SystemVerilog skeleton")
     rtl.add_argument("app")

@@ -25,6 +25,7 @@ they occupy.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 from repro.exec.job import JOB_SCHEMA, JobOutcome
@@ -47,6 +48,10 @@ class ResultCache:
         self.lock_timeout = lock_timeout
         self._entries: dict[str, dict] | None = None
         self.skipped = 0   # corrupt lines seen by the last load
+        # Optional MetricsRegistry (set by the runner): when present,
+        # get() records hit/miss counters and a lookup-latency histogram
+        # under exec.cache.*.  None keeps the hot path untouched.
+        self.metrics = None
 
     # -- reading --------------------------------------------------------------
 
@@ -79,6 +84,22 @@ class ResultCache:
 
     def get(self, digest: str | None) -> JobOutcome | None:
         """The stored outcome for ``digest`` (a fresh object), or None."""
+        if self.metrics is None:
+            return self._get(digest)
+        t0 = time.perf_counter()
+        outcome = self._get(digest)
+        self.metrics.histogram("exec.cache.lookup_us").record(
+            int((time.perf_counter() - t0) * 1e6)
+        )
+        if digest is None:
+            self.metrics.counter("exec.cache.uncacheable").inc()
+        elif outcome is None:
+            self.metrics.counter("exec.cache.misses").inc()
+        else:
+            self.metrics.counter("exec.cache.hits").inc()
+        return outcome
+
+    def _get(self, digest: str | None) -> JobOutcome | None:
         if digest is None:
             return None
         data = self._load().get(digest)

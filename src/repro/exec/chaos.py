@@ -50,6 +50,10 @@ class ChaosConfig:
     seed: int = 0
     crash_rate: float = 0.0        # fraction of pool jobs whose worker dies
     crash_signal: int = int(getattr(signal, "SIGKILL", 9))
+    # Store directory whose sweep journal receives a "chaos" event per
+    # injection (empty = don't journal).  Crosses the fork with the rest
+    # of the plan so even a worker about to die can leave a record.
+    journal_dir: str = ""
 
     def to_env(self) -> str:
         return json.dumps(asdict(self), sort_keys=True)
@@ -63,7 +67,7 @@ class ChaosConfig:
         if not isinstance(data, dict):
             return None
         types = {"seed": int, "crash_rate": (int, float),
-                 "crash_signal": int}
+                 "crash_signal": int, "journal_dir": str}
         known = {}
         for field, expected in types.items():
             if field not in data:
@@ -130,8 +134,26 @@ def maybe_crash_worker(job) -> None:
     if not key:
         key = getattr(job, "tag", "") or getattr(job, "app", "?")
     if should_fire(chaos.seed, "crash", str(key), chaos.crash_rate):
+        _journal_injection(
+            chaos.journal_dir, "worker-crash", str(key),
+            f"signal {chaos.crash_signal} to pid {os.getpid()}",
+        )
         os.kill(os.getpid(), chaos.crash_signal)
         time.sleep(5)  # pragma: no cover - SIGKILL needs no help
+
+
+def _journal_injection(journal_dir, kind: str, key: str,
+                       detail: str) -> None:
+    """Record one injection in the sweep journal; never raises (chaos
+    must not fail differently because its *logging* failed)."""
+    if not journal_dir:
+        return
+    try:
+        from repro.exec.journal import SweepJournal
+
+        SweepJournal(journal_dir).record_chaos(kind, key=key, detail=detail)
+    except Exception:   # noqa: BLE001 - telemetry only
+        pass
 
 
 # ---------------------------------------------------------------------------
@@ -139,7 +161,8 @@ def maybe_crash_worker(job) -> None:
 # ---------------------------------------------------------------------------
 
 
-def torn_append(path, line: str, keep: float = 0.5) -> str:
+def torn_append(path, line: str, keep: float = 0.5,
+                journal_dir: str = "") -> str:
     """Append a deliberately torn record: a prefix of ``line``, no
     newline — byte-for-byte what a writer killed mid-append leaves.
 
@@ -153,6 +176,8 @@ def torn_append(path, line: str, keep: float = 0.5) -> str:
             handle.write(fragment)
             handle.flush()
             os.fsync(handle.fileno())
+    _journal_injection(journal_dir, "torn-append", str(path),
+                       f"{len(fragment)} torn bytes: {fragment[:60]!r}")
     return fragment
 
 
@@ -170,15 +195,17 @@ def find_dead_pid() -> int:
 
 
 def plant_stale_lock(target, pid: int | None = None,
-                     age: float = 3600.0) -> str:
+                     age: float = 3600.0, journal_dir: str = "") -> str:
     """Fabricate ``<target>.lock`` held by a dead pid, ``age`` seconds
     old — what a crashed softlock holder leaves behind."""
     lock_path = str(target) + ".lock"
     os.makedirs(os.path.dirname(lock_path) or ".", exist_ok=True)
-    info = {"pid": pid if pid is not None else find_dead_pid(),
-            "time": time.time() - age, "mode": "softlock"}
+    holder = pid if pid is not None else find_dead_pid()
+    info = {"pid": holder, "time": time.time() - age, "mode": "softlock"}
     with open(lock_path, "w", encoding="utf-8") as handle:
         handle.write(json.dumps(info))
     then = time.time() - age
     os.utime(lock_path, (then, then))
+    _journal_injection(journal_dir, "stale-lock", lock_path,
+                       f"holder pid {holder}, age {age:g}s")
     return lock_path

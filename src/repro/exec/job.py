@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import time
 from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Callable
@@ -236,13 +237,25 @@ class JobOutcome:
     # sweep kept going; strict mode does not raise for these.
     quarantined: bool = False
     wall_seconds: float = 0.0
+    # Fleet telemetry: which process ran the job, when it started (epoch
+    # seconds), and per-phase [offset, duration] pairs relative to that
+    # start ({"spec-rebuild": [...], "simulate": [...]}).  Host-dependent,
+    # so excluded from to_dict() — they cross the pool boundary by
+    # pickling but never enter the cache or any determinism comparison.
+    worker_pid: int = 0
+    started: float = 0.0
+    phases: dict[str, Any] | None = None
     # Set by the runner when this outcome came from the cache; not
     # persisted (a cached copy of a cached copy is still one result).
     cached: bool = False
 
+    # Host/process-local fields stripped before persisting or comparing.
+    _EPHEMERAL = ("cached", "worker_pid", "started", "phases")
+
     def to_dict(self) -> dict[str, Any]:
         data = asdict(self)
-        del data["cached"]
+        for name in self._EPHEMERAL:
+            del data[name]
         return data
 
     @classmethod
@@ -277,11 +290,14 @@ def _outcome_from_result(job: SimJob, result, resilient) -> JobOutcome:
     )
 
 
-def _execute(job: SimJob) -> JobOutcome:
+def _execute(job: SimJob, phases: dict[str, Any] | None = None) -> JobOutcome:
     from repro.sim.accelerator import AcceleratorSim, run_resilient
     from repro.sim.invariants import DEFAULT_CHECK_INTERVAL
 
+    t0 = time.perf_counter()
     spec = job.source.build()
+    if phases is not None:
+        phases["spec-rebuild"] = [0.0, round(time.perf_counter() - t0, 6)]
     faults = None
     if job.fault is not None:
         from repro.sim.faults import FaultPlan
@@ -295,6 +311,7 @@ def _execute(job: SimJob) -> JobOutcome:
             rule_lanes=job.config.rule_lanes,
             intensity=job.fault.intensity,
         )
+    sim_t0 = time.perf_counter()
     if job.resilient:
         res = run_resilient(
             spec,
@@ -328,6 +345,11 @@ def _execute(job: SimJob) -> JobOutcome:
         )
         result = sim.run(verify=job.verify)
         resilient = None
+    if phases is not None:
+        phases["simulate"] = [
+            round(sim_t0 - t0, 6),
+            round(time.perf_counter() - sim_t0, 6),
+        ]
     outcome = _outcome_from_result(job, result, resilient)
     outcome.app_mode = spec.mode
     outcome.host_fed = spec.host_feed is not None
@@ -342,12 +364,17 @@ def execute_job(job: SimJob) -> JobOutcome:
     a pool worker always returns a picklable value and the runner can
     keep result ordering deterministic.
     """
+    started = time.time()
     start = time.perf_counter()
+    phases: dict[str, Any] = {}
     try:
-        outcome = _execute(job)
+        outcome = _execute(job, phases)
     except Exception as exc:   # noqa: BLE001 — fold into the outcome
         outcome = JobOutcome(
             app=job.app, error=f"{type(exc).__name__}: {exc}"
         )
     outcome.wall_seconds = round(time.perf_counter() - start, 6)
+    outcome.worker_pid = os.getpid()
+    outcome.started = started
+    outcome.phases = phases or None
     return outcome

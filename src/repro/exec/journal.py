@@ -11,6 +11,10 @@ job transition:
                 count across runs rides along)
 ``quarantine``  a job crossed the poison threshold; resumed sweeps skip
                 it instead of burning retries on it again
+``chaos``       an injected infrastructure fault fired (worker SIGKILL,
+                torn append, planted stale lock) — written by the chaos
+                layer itself, keyed by the digest/path it hit, so a
+                chaos-test failure is diagnosable from the artifact
 
 :meth:`SweepJournal.load` folds the event log into per-digest state:
 a later ``done`` clears earlier failures (the job recovered — e.g. a
@@ -28,6 +32,7 @@ intact — ``repro ... --resume`` in the CLI.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -45,6 +50,7 @@ class JournalState:
     failures: dict[str, int] = field(default_factory=dict)
     quarantined: set[str] = field(default_factory=set)
     errors: dict[str, str] = field(default_factory=dict)
+    chaos: list[dict] = field(default_factory=list)  # injected faults
     sweep_id: str = ""
     points: int = 0
     skipped: int = 0   # corrupt journal lines tolerated on load
@@ -106,6 +112,13 @@ class SweepJournal:
         self._append("quarantine", key=key, tag=tag, error=error[:500],
                      failures=failures)
 
+    def record_chaos(self, kind: str, key: str = "",
+                     detail: str = "") -> None:
+        """Log one injected infrastructure fault (crash/torn/stale-lock),
+        keyed by whatever it hit (job digest, file path)."""
+        self._append("chaos", kind=kind, key=key or kind,
+                     detail=detail[:200], pid=os.getpid())
+
     # -- reading --------------------------------------------------------------
 
     def load(self) -> JournalState:
@@ -121,6 +134,14 @@ class SweepJournal:
             if event == "begin":
                 state.sweep_id = data.get("sweep_id", "")
                 state.points = data.get("points", 0)
+                continue
+            if event == "chaos":
+                state.chaos.append({
+                    "kind": data.get("kind", "?"),
+                    "key": data.get("key", ""),
+                    "detail": data.get("detail", ""),
+                    "pid": data.get("pid", 0),
+                })
                 continue
             if not isinstance(key, str) or not key:
                 continue

@@ -42,6 +42,9 @@ from repro.exec.cache import ResultCache
 from repro.exec.chaos import maybe_crash_worker
 from repro.exec.job import JobOutcome, JobTimeoutError, SimJob, execute_job
 from repro.exec.journal import JournalState, SweepJournal
+from repro.io.safety import lock_telemetry_delta, lock_telemetry_snapshot
+from repro.obs.fleet import FleetRecorder, SweepProgress, record_job_span
+from repro.obs.metrics import MetricsRegistry
 
 DEFAULT_QUARANTINE_AFTER = 3
 
@@ -54,10 +57,16 @@ def run_job_with_timeout(job: SimJob, timeout: float | None) -> JobOutcome:
     the timer is *always* cancelled in the ``finally`` block so a
     leftover SIGALRM can never fire into a later job executed by the
     same pool worker.
+
+    Every executed job also emits one fleet span from whichever process
+    ran it (a no-op — one environment probe — unless a
+    :class:`~repro.obs.fleet.FleetRecorder` is active in the sweep).
     """
     maybe_crash_worker(job)
     if not timeout or timeout <= 0 or not hasattr(signal, "SIGALRM"):
-        return execute_job(job)
+        outcome = execute_job(job)
+        record_job_span(job, outcome)
+        return outcome
 
     def _expired(signum, frame):
         raise JobTimeoutError(
@@ -71,13 +80,15 @@ def run_job_with_timeout(job: SimJob, timeout: float | None) -> JobOutcome:
     else:  # pragma: no cover - platforms without setitimer
         signal.alarm(max(1, int(timeout)))
     try:
-        return execute_job(job)
+        outcome = execute_job(job)
     finally:
         if use_itimer:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
         else:  # pragma: no cover
             signal.alarm(0)
         signal.signal(signal.SIGALRM, previous)
+    record_job_span(job, outcome)
+    return outcome
 
 
 def _delayed_run(job: SimJob, timeout: float | None,
@@ -142,6 +153,8 @@ class SweepRunner:
         quarantine_after: int = DEFAULT_QUARANTINE_AFTER,
         journal: SweepJournal | None = None,
         resume: bool = False,
+        progress: SweepProgress | None = None,
+        fleet: FleetRecorder | None = None,
     ) -> None:
         self.jobs = max(1, jobs)
         self.cache = cache
@@ -154,10 +167,19 @@ class SweepRunner:
         self.quarantine_after = max(1, quarantine_after)
         self.journal = journal
         self.resume = resume
+        self.progress = progress
+        self.fleet = fleet
         self.report = SweepReport()
+        # Refreshed per run(): exec.* metrics and the per-job span list
+        # that feed the sweep-level RunRecord and the fleet dashboard.
+        self.metrics = MetricsRegistry()
+        self.job_spans: list[dict] = []
         self._failures: dict[int, int] = {}
         self._keys: dict[int, str] = {}
         self._digests: list[str | None] = []
+        self._submitted: dict[int, float] = {}
+        self._completed = 0
+        self._errors_seen = 0
 
     # -- supervision ----------------------------------------------------------
 
@@ -195,6 +217,15 @@ class SweepRunner:
         """All outcomes, in input order."""
         jobs = list(sim_jobs)
         report = self.report = SweepReport(points=len(jobs), jobs=self.jobs)
+        self.metrics = MetricsRegistry()
+        self.job_spans = []
+        self._submitted = {}
+        self._completed = 0
+        self._errors_seen = 0
+        if self.cache is not None:
+            self.cache.metrics = self.metrics
+        lock_base = lock_telemetry_snapshot()
+        sweep_t0 = time.time()
         start = time.perf_counter()
         results: list[JobOutcome | None] = [None] * len(jobs)
         digests = self._digests = [job.digest() for job in jobs]
@@ -203,10 +234,15 @@ class SweepRunner:
             i: self._job_key(job, digests[i], i)
             for i, job in enumerate(jobs)
         }
+        sweep_id = self._sweep_id()
 
         pending: list[int] = []
         for index, job in enumerate(jobs):
-            hit = self.cache.get(digests[index]) if self.cache else None
+            # "is not None", not truthiness: an empty ResultCache is
+            # falsy (__len__ == 0), but its misses must still be looked
+            # up (and counted) like any other lookup.
+            hit = (self.cache.get(digests[index])
+                   if self.cache is not None else None)
             if hit is not None:
                 hit.cached = True
                 results[index] = hit
@@ -217,7 +253,7 @@ class SweepRunner:
         state = JournalState()
         if self.journal is not None:
             state = self.journal.begin(
-                self._sweep_id(), len(jobs), resume=self.resume
+                sweep_id, len(jobs), resume=self.resume
             )
             # Poison jobs recorded by an earlier (crashed or exhausted)
             # run are skipped outright: the sweep keeps going.
@@ -240,18 +276,34 @@ class SweepRunner:
             pending = runnable
         report.executed = len(pending)
 
-        if pending:
-            if self.jobs > 1 and len(pending) > 1:
-                reason = self._unpicklable(jobs, pending)
-                if reason:
-                    report.fallback = reason
-                    executed = self._run_serial(jobs, pending, state)
+        if self.fleet is not None:
+            self.fleet.begin(sweep_id, len(jobs))
+        if self.progress is not None:
+            self.progress.begin(sweep_id, len(jobs), self.jobs,
+                                hits=report.hits)
+            if report.quarantined:
+                self.progress.update(quarantined=report.quarantined)
+        try:
+            if pending:
+                if self.jobs > 1 and len(pending) > 1:
+                    reason = self._unpicklable(jobs, pending)
+                    if reason:
+                        report.fallback = reason
+                        executed = self._run_serial(jobs, pending, state)
+                    else:
+                        executed = self._run_pool(jobs, pending, state)
                 else:
-                    executed = self._run_pool(jobs, pending, state)
-            else:
-                executed = self._run_serial(jobs, pending, state)
-            for index in pending:
-                results[index] = executed[index]
+                    executed = self._run_serial(jobs, pending, state)
+                for index in pending:
+                    results[index] = executed[index]
+        finally:
+            if self.fleet is not None:
+                self.fleet.record_span(
+                    "sweep", sweep_t0, time.time(),
+                    sweep_id=sweep_id, points=len(jobs),
+                    hits=report.hits,
+                )
+                self.fleet.end()
 
         outcomes = [
             outcome if outcome is not None else JobOutcome(
@@ -262,6 +314,13 @@ class SweepRunner:
         report.errors = sum(1 for o in outcomes if o.error)
         report.quarantined = sum(1 for o in outcomes if o.quarantined)
         report.wall_seconds = round(time.perf_counter() - start, 6)
+        self._finish_metrics(report, lock_base)
+        if self.progress is not None:
+            self.progress.update(errors=report.errors,
+                                 quarantined=report.quarantined,
+                                 retried=report.retried)
+            hard_errors = report.errors - report.quarantined
+            self.progress.finish("failed" if hard_errors > 0 else "done")
         hard_failures = [
             (i, o) for i, o in enumerate(outcomes)
             if o.error and not o.quarantined
@@ -276,6 +335,84 @@ class SweepRunner:
                 "failed: " + "; ".join(failures[:4])
             )
         return outcomes
+
+    def _finish_metrics(self, report: SweepReport, lock_base: dict) -> None:
+        """Fold the finished sweep into ``self.metrics``.
+
+        Lock telemetry is the parent-side delta over this run — cache
+        puts, journal appends, and run-store writes all happen in the
+        parent, which is where contention with concurrent CLI
+        invocations shows up.
+        """
+        m = self.metrics
+        m.counter("exec.jobs.points").inc(report.points)
+        m.counter("exec.jobs.executed").inc(report.executed)
+        m.counter("exec.jobs.retried").inc(report.retried)
+        m.counter("exec.jobs.errors").inc(report.errors)
+        m.counter("exec.jobs.quarantined").inc(report.quarantined)
+        workers = min(self.jobs, report.executed)
+        m.gauge("exec.workers.pool_size").set(workers)
+        if report.wall_seconds > 0:
+            busy = sum(
+                max(0.0, span["end"] - span["start"])
+                for span in self.job_spans
+            )
+            if workers:
+                m.gauge("exec.workers.busy_fraction").set(
+                    round(min(1.0, busy / (workers * report.wall_seconds)),
+                          4)
+                )
+            m.gauge("exec.sweep.points_per_sec").set(
+                round(report.points / report.wall_seconds, 3)
+            )
+        delta = lock_telemetry_delta(lock_base)
+        m.counter("io.lock.acquires").inc(delta["acquires"])
+        m.counter("io.lock.contended").inc(delta["contended"])
+        m.counter("io.lock.wait_ms").inc(
+            int(delta["wait_seconds"] * 1000)
+        )
+        m.counter("io.lock.stale_broken").inc(delta["stale_broken"])
+        m.counter("io.lock.timeouts").inc(delta["timeouts"])
+        if self.journal is not None:
+            try:
+                injections = self.journal.load().chaos
+            except Exception:   # noqa: BLE001 - telemetry only
+                injections = []
+            if injections:
+                m.counter("exec.chaos.injections").inc(len(injections))
+                for event in injections:
+                    m.counter(
+                        f"exec.chaos.{event.get('kind', 'unknown')}"
+                    ).inc()
+
+    def _observe(self, job: SimJob, index: int,
+                 outcome: JobOutcome) -> None:
+        """Per-executed-point metrics, span bookkeeping, and progress."""
+        m = self.metrics
+        m.histogram("exec.job.run_wall_ms").record(
+            int(outcome.wall_seconds * 1000)
+        )
+        submit = self._submitted.get(index)
+        if submit and outcome.started:
+            m.histogram("exec.job.queue_wait_ms").record(
+                max(0, int((outcome.started - submit) * 1000))
+            )
+        if outcome.worker_pid and outcome.started:
+            self.job_spans.append({
+                "tag": job.tag or job.app,
+                "app": job.app,
+                "pid": outcome.worker_pid,
+                "start": round(outcome.started, 6),
+                "end": round(outcome.started + outcome.wall_seconds, 6),
+                "error": bool(outcome.error),
+            })
+        self._completed += 1
+        if outcome.error:
+            self._errors_seen += 1
+        if self.progress is not None:
+            self.progress.update(executed=self._completed,
+                                 errors=self._errors_seen,
+                                 retried=self.report.retried)
 
     def _finalize(
         self,
@@ -301,10 +438,15 @@ class SweepRunner:
             # leaves a cached-but-unjournaled point (harmless — resume
             # still hits the cache), never a journaled-done point whose
             # result is missing.
+            commit_t0 = time.perf_counter()
             if self.cache is not None:
                 self.cache.put(self._digests[index], outcome)
             if self.journal is not None:
                 self.journal.record_done(key, tag)
+            if self.cache is not None or self.journal is not None:
+                self.metrics.histogram("exec.store.commit_us").record(
+                    int((time.perf_counter() - commit_t0) * 1e6)
+                )
         else:
             total = state.failure_count(key) + self._failures.get(index, 1)
             if self.journal is not None:
@@ -318,6 +460,7 @@ class SweepRunner:
                     self.journal.record_quarantine(
                         key, tag, outcome.error, total
                     )
+        self._observe(jobs[index], index, outcome)
         return outcome
 
     # -- serial path ----------------------------------------------------------
@@ -341,12 +484,13 @@ class SweepRunner:
     def _run_serial(
         self, jobs: list[SimJob], pending: list[int], state: JournalState
     ) -> dict[int, JobOutcome]:
-        return {
-            index: self._finalize(
+        out: dict[int, JobOutcome] = {}
+        for index in pending:
+            self._submitted[index] = time.time()
+            out[index] = self._finalize(
                 jobs, index, self._attempt(index, jobs[index]), state
             )
-            for index in pending
-        }
+        return out
 
     # -- pool path ------------------------------------------------------------
 
@@ -373,10 +517,12 @@ class SweepRunner:
         failures = dict.fromkeys(pending, 0)
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-            remaining = {
-                pool.submit(run_job_with_timeout, jobs[i], self.timeout): i
-                for i in pending
-            }
+            remaining = {}
+            for i in pending:
+                self._submitted[i] = time.time()
+                remaining[
+                    pool.submit(run_job_with_timeout, jobs[i], self.timeout)
+                ] = i
             while remaining:
                 done, _ = wait(remaining, return_when=FIRST_COMPLETED)
                 for future in done:
@@ -401,6 +547,7 @@ class SweepRunner:
                                 _delayed_run, jobs[index],
                                 self.timeout, delay,
                             )
+                            self._submitted[index] = time.time()
                             remaining[retry] = index
                             continue
                         except Exception:   # pool unusable: run inline

@@ -24,22 +24,30 @@ from repro.io.safety import (
     CorruptLineWarning,
     FileLock,
     JsonlRead,
+    LockTelemetry,
     LockTimeoutError,
     StaleLockWarning,
     append_line,
+    lock_telemetry_delta,
+    lock_telemetry_snapshot,
     pid_alive,
     read_jsonl,
     replace_file,
+    reset_lock_telemetry,
 )
 
 __all__ = [
     "CorruptLineWarning",
     "FileLock",
     "JsonlRead",
+    "LockTelemetry",
     "LockTimeoutError",
     "StaleLockWarning",
     "append_line",
+    "lock_telemetry_delta",
+    "lock_telemetry_snapshot",
     "pid_alive",
     "read_jsonl",
     "replace_file",
+    "reset_lock_telemetry",
 ]

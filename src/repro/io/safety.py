@@ -37,6 +37,56 @@ DEFAULT_TIMEOUT = 30.0
 DEFAULT_STALE_AFTER = 120.0
 
 
+@dataclass
+class LockTelemetry:
+    """Process-wide counters for every :class:`FileLock` acquisition.
+
+    Contention is otherwise invisible: a sweep that spends half its wall
+    time queueing on the cache lock looks identical to one that never
+    waits.  The accumulator lives here (not in ``obs``) so the io layer
+    stays dependency-free; consumers snapshot/delta it around a sweep.
+    """
+
+    acquires: int = 0
+    contended: int = 0           # acquisitions that did not succeed first try
+    wait_seconds: float = 0.0    # total time spent inside acquire()
+    max_wait_seconds: float = 0.0
+    stale_broken: int = 0
+    timeouts: int = 0
+
+    def snapshot(self) -> dict:
+        return {
+            "acquires": self.acquires,
+            "contended": self.contended,
+            "wait_seconds": round(self.wait_seconds, 6),
+            "max_wait_seconds": round(self.max_wait_seconds, 6),
+            "stale_broken": self.stale_broken,
+            "timeouts": self.timeouts,
+        }
+
+
+LOCK_TELEMETRY = LockTelemetry()
+
+
+def lock_telemetry_snapshot() -> dict:
+    """Current process-wide lock counters as a plain dict."""
+    return LOCK_TELEMETRY.snapshot()
+
+
+def lock_telemetry_delta(base: dict) -> dict:
+    """Counters accumulated since ``base`` (an earlier snapshot)."""
+    now = LOCK_TELEMETRY.snapshot()
+    delta = {k: now[k] - base.get(k, 0) for k in now}
+    delta["wait_seconds"] = round(delta["wait_seconds"], 6)
+    # max is not a counter; report the current high-water mark instead.
+    delta["max_wait_seconds"] = now["max_wait_seconds"]
+    return delta
+
+
+def reset_lock_telemetry() -> None:
+    LOCK_TELEMETRY.__init__()
+
+
 class LockTimeoutError(TimeoutError):
     """A :class:`FileLock` could not be acquired within its timeout."""
 
@@ -129,14 +179,26 @@ class FileLock:
     # -- acquisition ----------------------------------------------------------
 
     def acquire(self) -> "FileLock":
-        deadline = time.monotonic() + self.timeout
+        start = time.monotonic()
+        deadline = start + self.timeout
+        first_try = True
         while True:
             if self._try_acquire():
+                waited = time.monotonic() - start
+                LOCK_TELEMETRY.acquires += 1
+                LOCK_TELEMETRY.wait_seconds += waited
+                if waited > LOCK_TELEMETRY.max_wait_seconds:
+                    LOCK_TELEMETRY.max_wait_seconds = waited
+                if not first_try:
+                    LOCK_TELEMETRY.contended += 1
                 return self
+            first_try = False
             if self._break_if_stale():
+                LOCK_TELEMETRY.stale_broken += 1
                 continue
             if time.monotonic() >= deadline:
                 holder = self.holder()
+                LOCK_TELEMETRY.timeouts += 1
                 raise LockTimeoutError(
                     f"could not lock {self.target} within "
                     f"{self.timeout:g}s (held by pid "

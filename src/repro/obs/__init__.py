@@ -25,11 +25,25 @@ trace/profile/metric state and replayed cycles are never double-counted.
 from __future__ import annotations
 
 from repro.obs.events import StallReason, TraceEvent, TraceEventKind
+from repro.obs.fleet import (
+    FleetRecorder,
+    SweepProgress,
+    format_status,
+    load_status,
+    merge_fleet_trace,
+    write_fleet_trace,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profile import (
     StallProfiler,
     UtilizationTimeline,
     format_stall_report,
+)
+from repro.obs.regress import (
+    Regression,
+    format_regressions,
+    regress_bench,
+    regress_store,
 )
 from repro.obs.tracer import EventTracer
 
@@ -136,14 +150,24 @@ class Observability:
 __all__ = [
     "Counter",
     "EventTracer",
+    "FleetRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "Regression",
     "StallProfiler",
     "StallReason",
+    "SweepProgress",
     "TraceEvent",
     "TraceEventKind",
     "UtilizationTimeline",
+    "format_regressions",
     "format_stall_report",
+    "format_status",
+    "load_status",
+    "merge_fleet_trace",
+    "regress_bench",
+    "regress_store",
+    "write_fleet_trace",
 ]

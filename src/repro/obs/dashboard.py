@@ -330,6 +330,115 @@ def _bandwidth_sweep(history: Sequence[RunRecord]) -> str:
     )
 
 
+def _fleet_timeline(record: RunRecord) -> str:
+    """Worker-timeline SVG: one lane per pid, one bar per executed job."""
+    spans = (record.extra or {}).get("jobs") or []
+    spans = [
+        s for s in spans
+        if isinstance(s.get("start"), (int, float))
+        and isinstance(s.get("end"), (int, float))
+    ]
+    if not spans:
+        return ('<p class="sub">no per-job spans in this record (all '
+                "points were cache hits, or the sweep stored none)</p>")
+    t0 = min(s["start"] for s in spans)
+    t1 = max(max(s["end"], s["start"]) for s in spans)
+    span_s = max(t1 - t0, 1e-6)
+    pids = sorted({s.get("pid", 0) for s in spans})
+    label_w, chart_w, bar_h, gap = 120, 640, 16, 8
+    height = len(pids) * (bar_h + gap) + 24
+    parts = [
+        f'<svg viewBox="0 0 {label_w + chart_w + 8} {height}" '
+        f'width="{label_w + chart_w + 8}" role="img" '
+        'aria-label="worker timeline">'
+    ]
+    lane = {pid: i for i, pid in enumerate(pids)}
+    for pid in pids:
+        y = lane[pid] * (bar_h + gap)
+        parts.append(
+            f'<text x="{label_w - 8}" y="{y + bar_h - 4}" '
+            f'text-anchor="end">pid {pid}</text>'
+        )
+    for index, s in enumerate(sorted(spans, key=lambda s: s["start"])):
+        y = lane[s.get("pid", 0)] * (bar_h + gap)
+        x = label_w + (s["start"] - t0) / span_s * chart_w
+        width = max((s["end"] - s["start"]) / span_s * chart_w, 0.5)
+        # Errors in the status red, healthy jobs cycling the palette;
+        # 2px surface gaps between adjacent fills.
+        color = "#d03b3b" if s.get("error") else \
+            PALETTE[index % len(PALETTE)]
+        dur = s["end"] - s["start"]
+        parts.append(
+            f'<rect x="{x:.1f}" y="{y}" width="{max(width - 2, 0.5):.1f}" '
+            f'height="{bar_h}" rx="2" fill="{color}">'
+            f'<title>{_esc(s.get("tag", "?"))} on pid '
+            f'{s.get("pid", "?")}: {dur:.3f}s'
+            f'{" — FAILED" if s.get("error") else ""}</title></rect>'
+        )
+    parts.append(
+        f'<text x="{label_w}" y="{height - 4}">0s</text>'
+        f'<text x="{label_w + chart_w}" y="{height - 4}" '
+        f'text-anchor="end">{span_s:.2f}s</text></svg>'
+    )
+    return "".join(parts)
+
+
+def _fleet_section(record: RunRecord) -> str:
+    """Sweep-level "fleet" page: worker timeline, cache economics,
+    lock contention — rendered only for ``kind == "sweep"`` records."""
+    sweep = (record.extra or {}).get("sweep") or {}
+    metrics = record.metrics or {}
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    gauges = metrics.get("gauges", {})
+
+    facts = [
+        ("points", sweep.get("points", 0)),
+        ("cache hits", sweep.get("hits", 0)),
+        ("simulated", sweep.get("executed", 0)),
+        ("retried", sweep.get("retried", 0)),
+        ("errors", sweep.get("errors", 0)),
+        ("quarantined", sweep.get("quarantined", 0)),
+        ("workers", sweep.get("jobs", 1)),
+        ("hit rate", f"{sweep.get('hit_rate', 0.0) * 100:.0f}%"),
+        ("points/s", f"{sweep.get('points_per_sec', 0.0):.2f}"),
+        ("busy fraction",
+         f"{gauges.get('exec.workers.busy_fraction', 0.0) * 100:.0f}%"),
+    ]
+    summary = "<table>" + "".join(
+        f"<tr><th>{_esc(k)}</th><td class=\"num\">{_esc(v)}</td></tr>"
+        for k, v in facts
+    ) + "</table>"
+
+    lookup = histograms.get("exec.cache.lookup_us", {})
+    commit = histograms.get("exec.store.commit_us", {})
+    economics = "<table><tr><th>cache economics</th>" \
+        "<th class=\"num\">value</th></tr>" + "".join(
+            f"<tr><td>{_esc(name)}</td><td class=\"num\">{_esc(v)}</td></tr>"
+            for name, v in (
+                ("lookups (hit)", counters.get("exec.cache.hits", 0)),
+                ("lookups (miss)", counters.get("exec.cache.misses", 0)),
+                ("uncacheable", counters.get("exec.cache.uncacheable", 0)),
+                ("lookup p95", f"{lookup.get('p95', 0.0):.0f} µs"),
+                ("commit p95", f"{commit.get('p95', 0.0):.0f} µs"),
+            )
+        ) + "</table>"
+
+    contention = "<table><tr><th>lock contention</th>" \
+        "<th class=\"num\">value</th></tr>" + "".join(
+            f"<tr><td>{_esc(name)}</td><td class=\"num\">{_esc(v)}</td></tr>"
+            for name, v in (
+                ("acquires", counters.get("io.lock.acquires", 0)),
+                ("contended", counters.get("io.lock.contended", 0)),
+                ("total wait", f"{counters.get('io.lock.wait_ms', 0)} ms"),
+                ("stale broken", counters.get("io.lock.stale_broken", 0)),
+                ("timeouts", counters.get("io.lock.timeouts", 0)),
+            )
+        ) + "</table>"
+
+    return summary + _fleet_timeline(record) + economics + contention
+
+
 # ---------------------------------------------------------------------------
 # Non-chart sections
 # ---------------------------------------------------------------------------
@@ -451,13 +560,19 @@ def render_dashboard(
 ) -> str:
     """The whole page as one HTML string."""
     history = list(history or [])
-    sections = [
-        ("Diagnosis", _findings_section(findings or [])),
-        ("Stall attribution", _stall_waterfall(record)),
-        ("Pipeline utilization", _utilization_timeline(record)),
-        ("Bandwidth sweep (Figure 10)", _bandwidth_sweep(history)),
-        ("Metrics", _metrics_tables(record)),
-    ]
+    if record.kind == "sweep" or (record.extra or {}).get("sweep"):
+        sections = [
+            ("Fleet (sweep execution)", _fleet_section(record)),
+            ("Metrics", _metrics_tables(record)),
+        ]
+    else:
+        sections = [
+            ("Diagnosis", _findings_section(findings or [])),
+            ("Stall attribution", _stall_waterfall(record)),
+            ("Pipeline utilization", _utilization_timeline(record)),
+            ("Bandwidth sweep (Figure 10)", _bandwidth_sweep(history)),
+            ("Metrics", _metrics_tables(record)),
+        ]
     if history:
         sections.append(("Recent runs", _history_table(history)))
     body = "".join(

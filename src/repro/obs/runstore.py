@@ -212,6 +212,67 @@ def record_from_outcome(
     )
 
 
+def record_from_sweep(
+    runner,
+    *,
+    command: str = "sweep",
+    apps: Iterable[str] = (),
+    max_job_spans: int = 200,
+    extra: dict[str, Any] | None = None,
+) -> RunRecord:
+    """Reduce a finished :class:`~repro.exec.runner.SweepRunner` run to a
+    sweep-level record (``kind="sweep"``).
+
+    Carries the runner's exec metrics snapshot (queue-wait/run-wall
+    histograms, cache economics, lock contention) plus per-job worker
+    spans in ``extra["jobs"]`` — the fleet dashboard's raw material.
+    Per-point wall clocks are host-dependent by nature, which is why
+    sweep records are only stored by commands whose run-store output is
+    not part of a byte-stability contract (``repro experiment``, not
+    ``repro fault-campaign``).
+    """
+    report = runner.report
+    snapshot = runner.metrics.snapshot()
+    app_list = sorted(set(apps))
+    spans = list(runner.job_spans)
+    if len(spans) > max_job_spans:
+        spans = spans[:max_job_spans]
+    payload = {
+        "command": command,
+        "sweep": {
+            "points": report.points,
+            "hits": report.hits,
+            "executed": report.executed,
+            "retried": report.retried,
+            "errors": report.errors,
+            "quarantined": report.quarantined,
+            "jobs": report.jobs,
+            "hit_rate": round(report.hit_rate, 6),
+            "points_per_sec": round(
+                report.points / report.wall_seconds, 3
+            ) if report.wall_seconds else 0.0,
+            "fallback": report.fallback,
+        },
+        "jobs": spans,
+        **(extra or {}),
+    }
+    return RunRecord(
+        kind="sweep",
+        app="+".join(app_list)[:48] or command,
+        cycles=0,
+        seconds=0.0,
+        utilization=snapshot["gauges"].get(
+            "exec.workers.busy_fraction", 0.0
+        ),
+        squash_fraction=0.0,
+        verified=report.errors == 0,
+        sim_mode="sweep",
+        wall_seconds=round(report.wall_seconds, 6),
+        metrics=snapshot,
+        extra=payload,
+    )
+
+
 class RunStore:
     """Append-only JSONL store of :class:`RunRecord` documents."""
 

@@ -150,6 +150,73 @@ class TestCrashInjection:
         assert comparable(a) == comparable(b)
 
 
+class TestChaosJournal:
+    """Injections leave an audit trail in the sweep journal."""
+
+    def test_journal_dir_round_trips_through_env(self):
+        config = ChaosConfig(seed=3, crash_rate=0.5, journal_dir="/tmp/x")
+        again = ChaosConfig.from_env(config.to_env())
+        assert again == config
+        assert again.journal_dir == "/tmp/x"
+
+    def test_record_chaos_folds_into_state(self, tmp_path):
+        from repro.exec import SweepJournal
+
+        journal = SweepJournal(tmp_path)
+        journal.record_chaos("worker-crash", key="digest0",
+                             detail="signal 9")
+        journal.record_chaos("torn-append", key="cache.jsonl")
+        state = journal.load()
+        assert [e["kind"] for e in state.chaos] == \
+            ["worker-crash", "torn-append"]
+        assert state.chaos[0]["key"] == "digest0"
+        assert state.chaos[0]["pid"] == os.getpid()
+
+    def test_torn_append_journals_itself(self, tmp_path):
+        from repro.exec import SweepJournal
+
+        data = tmp_path / "data.jsonl"
+        torn_append(data, '{"victim": 1}\n', journal_dir=str(tmp_path))
+        entries = SweepJournal(tmp_path).load().chaos
+        assert [e["kind"] for e in entries] == ["torn-append"]
+        assert entries[0]["key"] == str(data)
+
+    def test_plant_stale_lock_journals_itself(self, tmp_path):
+        from repro.exec import SweepJournal
+
+        lock_path = plant_stale_lock(tmp_path / "data.jsonl",
+                                     journal_dir=str(tmp_path))
+        entries = SweepJournal(tmp_path).load().chaos
+        assert [e["kind"] for e in entries] == ["stale-lock"]
+        assert entries[0]["key"] == lock_path
+        assert "age" in entries[0]["detail"]
+
+    def test_worker_crashes_journal_and_count(self, tmp_path, monkeypatch):
+        """A chaos campaign with a journal_dir leaves worker-crash
+        events that the runner folds into exec.chaos.* metrics."""
+        from repro.exec import SweepJournal
+
+        monkeypatch.setenv(
+            CHAOS_ENV,
+            ChaosConfig(seed=1, crash_rate=1.0,
+                        journal_dir=str(tmp_path)).to_env(),
+        )
+        runner = SweepRunner(jobs=2, retries=1, backoff_base=0.0,
+                             journal=SweepJournal(tmp_path))
+        outcomes = runner.run(grid_jobs(4))
+        assert not any(o.error for o in outcomes)
+
+        entries = SweepJournal(tmp_path).load().chaos
+        crash_events = [e for e in entries if e["kind"] == "worker-crash"]
+        assert crash_events, "expected journaled worker crashes"
+        assert all(e["pid"] != os.getpid() for e in crash_events)
+
+        snap = runner.metrics.snapshot()
+        assert snap["counters"]["exec.chaos.injections"] == len(entries)
+        assert snap["counters"]["exec.chaos.worker-crash"] \
+            == len(crash_events)
+
+
 class TestTornWrites:
     def test_reader_skips_torn_tail_and_append_heals_it(self, tmp_path):
         cache = ResultCache(tmp_path)

@@ -1,0 +1,163 @@
+"""Exec-layer metrics: runner registry, pool pickling, JSON CLI."""
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.eval.platforms import HARP
+from repro.exec import GraphAppSource, ResultCache, SimJob, SweepRunner
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.runstore import RunStore, record_from_sweep
+from repro.sim.accelerator import SimConfig
+
+
+def grid_jobs(points: int = 4) -> list[SimJob]:
+    jobs = []
+    for index in range(points):
+        app = "SPEC-BFS" if index % 2 == 0 else "SPEC-SSSP"
+        jobs.append(SimJob(
+            source=GraphAppSource(
+                app, 80, 240, seed=11 + index,
+                start=0 if app == "SPEC-BFS" else None,
+            ),
+            platform=HARP,
+            config=SimConfig(),
+            tag=f"metrics:{app}#{index}",
+        ))
+    return jobs
+
+
+def _touch_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Pool entry point: mutate a pickled registry and send it back."""
+    registry.counter("exec.cache.hits").inc(2)
+    registry.histogram("exec.job.run_wall_ms").record(42)
+    return registry
+
+
+class TestRunnerMetrics:
+    def test_sweep_populates_exec_metrics(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        runner.run(grid_jobs(4))
+        snap = runner.metrics.snapshot()
+        assert snap["counters"]["exec.jobs.points"] == 4
+        assert snap["counters"]["exec.jobs.executed"] == 4
+        assert snap["counters"]["exec.cache.misses"] == 4
+        # Counters materialise lazily: never-hit means no hits counter.
+        assert snap["counters"].get("exec.cache.hits", 0) == 0
+        assert snap["histograms"]["exec.job.run_wall_ms"]["count"] == 4
+        assert snap["histograms"]["exec.cache.lookup_us"]["count"] == 4
+        assert snap["histograms"]["exec.store.commit_us"]["count"] == 4
+        # Cache puts + journal-free appends all acquire the file lock.
+        assert snap["counters"]["io.lock.acquires"] >= 4
+        assert snap["gauges"]["exec.sweep.points_per_sec"] > 0
+
+    def test_warm_rerun_counts_hits_without_lookup_cost_loss(
+            self, tmp_path):
+        jobs = grid_jobs(4)
+        SweepRunner(jobs=1, cache=ResultCache(tmp_path)).run(jobs)
+        warm = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        warm.run(jobs)
+        snap = warm.metrics.snapshot()
+        assert snap["counters"]["exec.cache.hits"] == 4
+        assert snap["counters"].get("exec.cache.misses", 0) == 0
+        assert snap["histograms"]["exec.cache.lookup_us"]["count"] == 4
+        # Nothing executed, so no run-wall samples and no commits.
+        assert "exec.job.run_wall_ms" not in snap["histograms"]
+        assert snap["counters"]["exec.jobs.executed"] == 0
+
+    def test_pool_run_collects_spans_and_queue_wait(self):
+        runner = SweepRunner(jobs=2)
+        runner.run(grid_jobs(4))
+        snap = runner.metrics.snapshot()
+        assert snap["histograms"]["exec.job.run_wall_ms"]["count"] == 4
+        assert snap["histograms"]["exec.job.queue_wait_ms"]["count"] == 4
+        assert len(runner.job_spans) == 4
+        assert {span["pid"] for span in runner.job_spans}
+        assert all(span["end"] >= span["start"]
+                   for span in runner.job_spans)
+        assert 0.0 < snap["gauges"]["exec.workers.busy_fraction"] <= 1.0
+
+    def test_metrics_reset_between_runs(self):
+        runner = SweepRunner(jobs=1)
+        runner.run(grid_jobs(2))
+        runner.run(grid_jobs(2))
+        snap = runner.metrics.snapshot()
+        assert snap["counters"]["exec.jobs.points"] == 2   # not 4
+
+    def test_registry_round_trips_through_a_real_pool(self):
+        registry = MetricsRegistry()
+        registry.histogram("exec.job.queue_wait_ms").record(7)
+        registry.gauge("exec.workers.pool_size").set(2)
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            returned = pool.submit(_touch_registry, registry).result()
+        snap = returned.snapshot()
+        assert snap["counters"]["exec.cache.hits"] == 2
+        assert snap["histograms"]["exec.job.run_wall_ms"]["count"] == 1
+        assert snap["histograms"]["exec.job.queue_wait_ms"]["count"] == 1
+        assert snap["gauges"]["exec.workers.pool_size"] == 2
+
+
+class TestSweepRecord:
+    def test_record_from_sweep_shape(self, tmp_path):
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        runner.run(grid_jobs(2))
+        record = record_from_sweep(
+            runner, command="experiment:figure10",
+            apps=("SPEC-BFS", "SPEC-SSSP"),
+        )
+        assert record.kind == "sweep"
+        assert record.app == "SPEC-BFS+SPEC-SSSP"
+        assert record.sim_mode == "sweep"
+        assert record.verified
+        assert record.extra["command"] == "experiment:figure10"
+        assert record.extra["sweep"]["points"] == 2
+        assert record.extra["sweep"]["executed"] == 2
+        assert len(record.extra["jobs"]) == 2
+        assert record.metrics["counters"]["exec.jobs.points"] == 2
+        # Round-trips through the store like any other record.
+        stored = RunStore(tmp_path).append(record)
+        got = RunStore(tmp_path).get(stored.run_id)
+        assert got.extra["sweep"] == record.extra["sweep"]
+
+    def test_span_cap(self, tmp_path):
+        runner = SweepRunner(jobs=1)
+        runner.run(grid_jobs(3))
+        record = record_from_sweep(runner, max_job_spans=2)
+        assert len(record.extra["jobs"]) == 2
+
+
+class TestJsonCli:
+    def test_runs_list_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runner = SweepRunner(jobs=1)
+        runner.run(grid_jobs(1))
+        store = RunStore(tmp_path)
+        store.append(record_from_sweep(runner, apps=("SPEC-BFS",)))
+        assert main(["runs", "--store", str(tmp_path), "list",
+                     "--json"]) == 0
+        docs = json.loads(capsys.readouterr().out)
+        assert len(docs) == 1
+        assert docs[0]["kind"] == "sweep"
+        assert docs[0]["extra"]["sweep"]["points"] == 1
+
+    def test_cache_stats_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        runner.run(grid_jobs(1))
+        assert main(["cache", "--store", str(tmp_path), "stats",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["entries"] == 1
+        assert "lock" in doc and "lock_telemetry" in doc
+        assert doc["lock"]["holder_pid"] is not None
+        assert doc["lock_telemetry"]["acquires"] >= 0
+
+    def test_cache_stats_text_shows_lock_holder(self, tmp_path, capsys):
+        from repro.cli import main
+
+        runner = SweepRunner(jobs=1, cache=ResultCache(tmp_path))
+        runner.run(grid_jobs(1))
+        assert main(["cache", "--store", str(tmp_path), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "lock: last holder pid" in out

@@ -14,9 +14,12 @@ from repro.io import (
     LockTimeoutError,
     StaleLockWarning,
     append_line,
+    lock_telemetry_delta,
+    lock_telemetry_snapshot,
     pid_alive,
     read_jsonl,
     replace_file,
+    reset_lock_telemetry,
 )
 
 
@@ -127,6 +130,66 @@ class TestSoftlock:
         assert lock.lock_path.exists()
         lock.release()
         assert not lock.lock_path.exists()
+
+
+class TestLockTelemetry:
+    """Process-wide acquisition counters (deltas, not absolutes: other
+    tests in the same process also take locks)."""
+
+    def test_uncontended_acquire_counts_once(self, tmp_path):
+        base = lock_telemetry_snapshot()
+        with FileLock(tmp_path / "data.jsonl"):
+            pass
+        delta = lock_telemetry_delta(base)
+        assert delta["acquires"] == 1
+        assert delta["contended"] == 0
+        assert delta["timeouts"] == 0
+
+    def test_contended_acquire_counts_wait(self, tmp_path):
+        import threading
+
+        target = tmp_path / "data.jsonl"
+        holder = FileLock(target)
+        holder.acquire()
+        threading.Timer(0.15, holder.release).start()
+        base = lock_telemetry_snapshot()
+        with FileLock(target, timeout=5.0, poll=0.01):
+            pass
+        delta = lock_telemetry_delta(base)
+        assert delta["acquires"] == 1
+        assert delta["contended"] == 1
+        assert delta["wait_seconds"] > 0.05
+        assert delta["max_wait_seconds"] >= delta["wait_seconds"]
+
+    def test_timeout_counts_as_timeout_not_acquire(self, tmp_path):
+        target = tmp_path / "data.jsonl"
+        with FileLock(target):
+            base = lock_telemetry_snapshot()
+            with pytest.raises(LockTimeoutError):
+                FileLock(target, timeout=0.05, poll=0.01).acquire()
+            delta = lock_telemetry_delta(base)
+        assert delta["timeouts"] == 1
+        assert delta["acquires"] == 0
+
+    def test_stale_break_is_counted(self, tmp_path):
+        target = tmp_path / "data.jsonl"
+        (tmp_path / "data.jsonl.lock").write_text(json.dumps(
+            {"pid": find_dead_pid(), "time": time.time()}))
+        base = lock_telemetry_snapshot()
+        lock = FileLock(target, mode="softlock", timeout=5.0)
+        with pytest.warns(StaleLockWarning):
+            lock.acquire()
+        lock.release()
+        delta = lock_telemetry_delta(base)
+        assert delta["stale_broken"] == 1
+        assert delta["acquires"] == 1
+
+    def test_reset_zeroes_every_counter(self, tmp_path):
+        with FileLock(tmp_path / "data.jsonl"):
+            pass
+        reset_lock_telemetry()
+        snap = lock_telemetry_snapshot()
+        assert all(value == 0 for value in snap.values())
 
 
 class TestAppendLine:
