@@ -14,7 +14,12 @@ A thin CLI over :mod:`repro.obs.regress` (the same comparator behind
 * **sweep gates** (``bench_smoke.py --sweep`` documents) — per-point
   cycle counts and the warm-cache hit rate (must be 1.0) are exact,
   while the parallel/serial wall ratio may not fall more than
-  ``--sweep-tolerance`` (default 35%) below the baseline.
+  ``--sweep-tolerance`` (default 35%) below the baseline;
+* **engine-matrix gates** (``bench_smoke.py --events`` documents) —
+  cycles exact per profile/app, fast- and event-engine speedups gated
+  by ``--tolerance`` against the baseline, and any row carrying an
+  absolute ``event_floor`` (the memory-bound 10x event-engine
+  contract) gated against it with no tolerance.
 
 Every failure now carries a diagnosis line (what to check, how to
 re-record) instead of a bare diff.
@@ -25,6 +30,8 @@ Usage::
     python scripts/bench_check.py BENCH_sim.json BENCH_baseline.json
     python scripts/bench_smoke.py --sweep --output BENCH_sweep.json
     python scripts/bench_check.py BENCH_sweep.json BENCH_sweep_baseline.json
+    python scripts/bench_smoke.py --events --output BENCH_events.json
+    python scripts/bench_check.py BENCH_events.json BENCH_events_baseline.json
 """
 
 from __future__ import annotations
@@ -93,6 +100,22 @@ def main(argv: list[str] | None = None) -> int:
             if isinstance(row, dict) and "speedup" in row:
                 print(f"{where}: {row['speedup']:.2f}x "
                       f"(baseline {base_apps[app]['speedup']:.2f}x) — OK")
+    for profile, base_apps in sorted(
+        (baseline.get("engines") or {}).items()
+    ):
+        for app in sorted(base_apps):
+            where = f"engines[{profile}][{app}]"
+            if any(f.where == where for f in failures):
+                continue
+            row = (current.get("engines", {}).get(profile) or {}).get(app)
+            if isinstance(row, dict) and "event_speedup" in row:
+                floor = base_apps[app].get("event_floor")
+                floor_note = (f", floor {floor:.1f}x"
+                              if isinstance(floor, (int, float)) else "")
+                print(f"{where}: fast {row.get('fast_speedup', 0.0):.2f}x,"
+                      f" event {row['event_speedup']:.2f}x (baseline "
+                      f"{base_apps[app].get('event_speedup', 0.0):.2f}x"
+                      f"{floor_note}) — OK")
 
     for warning in warnings_:
         print(f"warn [{warning.rule}] {warning.where}: {warning.message}")

@@ -24,6 +24,13 @@ and again against a warm result cache, writing ``BENCH_sweep.json``
 agree on every cycle count (exit non-zero otherwise) and the warm run
 must hit the cache for every point; the parallel/serial wall ratio is
 machine-normalized the same way the fast-forward speedup is.
+
+``--events`` benchmarks the full engine matrix instead: every app runs
+dense, fast (scan-based skipping), and event (priority-queue wake-ups)
+on two profiles, writing ``BENCH_events.json`` (or ``--output``).  All
+three engines must finish at the same cycle, and the memory-bound rows
+carry the absolute 10x event-engine speedup floor that
+``repro regress --bench`` / ``scripts/bench_check.py`` enforce.
 """
 
 from __future__ import annotations
@@ -58,6 +65,19 @@ PROFILES = {
     "memory-bound": EVAL_HARP.scaled(0.05),
 }
 
+# The engine-matrix profiles (``--events``).  The memory-bound leg runs
+# at 0.5% QPI bandwidth — the Figure-10 low-bandwidth regime, where the
+# machine is quiescent for >97% of cycles and wake-up-driven skipping
+# dominates — and carries an *absolute* 10x event-engine speedup floor
+# (EVENT_FLOOR) that ``repro regress --bench`` enforces, on top of the
+# usual relative tolerance against the committed baseline.
+EVENT_PROFILES = {
+    "baseline": HARP,
+    "memory-bound": EVAL_HARP.scaled(0.005),
+}
+EVENT_FLOOR = 10.0
+ENGINES = ("dense", "fast", "event")
+
 
 def build_spec(app: str):
     graph = random_graph(NODES, EDGES, seed=SEED)
@@ -65,10 +85,10 @@ def build_spec(app: str):
         else build_app(app, graph)
 
 
-def run_once(app: str, platform, *, fast: bool) -> dict:
+def run_once(app: str, platform, *, engine: str = "dense") -> dict:
     sim = AcceleratorSim(
         build_spec(app), platform=platform,
-        config=SimConfig(fast_forward=fast),
+        config=SimConfig(engine=engine),
     )
     started = time.perf_counter()
     result = sim.run()
@@ -165,6 +185,67 @@ def run_sweep_bench(output: str) -> int:
     return 0
 
 
+def run_events_bench(output: str) -> int:
+    """The three-engine matrix: dense vs fast vs event per profile/app.
+
+    Every engine must finish at the same cycle (exit non-zero
+    otherwise); the recorded per-engine speedups are cycles-per-second
+    ratios against the dense run on the same host, so they are
+    machine-normalized.  The memory-bound rows carry the absolute
+    ``event_floor`` the regression gate enforces.
+    """
+    engines_doc: dict = {}
+    for profile, platform in EVENT_PROFILES.items():
+        engines_doc[profile] = {}
+        for app in APPS:
+            rows = {
+                engine: run_once(app, platform, engine=engine)
+                for engine in ENGINES
+            }
+            dense = rows["dense"]
+            for engine in ("fast", "event"):
+                if rows[engine]["cycles"] != dense["cycles"]:
+                    print(f"FAIL {app} [{profile}]: {engine} engine "
+                          f"diverged ({rows[engine]['cycles']} != "
+                          f"{dense['cycles']} cycles)", file=sys.stderr)
+                    return 1
+
+            def speedup(engine: str) -> float:
+                if not dense["cycles_per_sec"]:
+                    return 0.0
+                return round(
+                    rows[engine]["cycles_per_sec"]
+                    / dense["cycles_per_sec"], 3)
+
+            row = {
+                "cycles": dense["cycles"],
+                **rows,
+                "fast_speedup": speedup("fast"),
+                "event_speedup": speedup("event"),
+            }
+            if profile == "memory-bound":
+                row["event_floor"] = EVENT_FLOOR
+            engines_doc[profile][app] = row
+            print(f"{app} [{profile}]: {dense['cycles']} cycles — dense "
+                  f"{dense['wall_seconds']:.2f}s, fast "
+                  f"{rows['fast']['wall_seconds']:.2f}s "
+                  f"({row['fast_speedup']:.2f}x), event "
+                  f"{rows['event']['wall_seconds']:.2f}s "
+                  f"({row['event_speedup']:.2f}x, "
+                  f"{rows['event']['ff_jumps']} jumps) — CYCLE-EXACT")
+
+    payload = {
+        "seed": SEED,
+        "graph": {"nodes": NODES, "edges": EDGES},
+        "engines": engines_doc,
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default=None)
@@ -177,15 +258,23 @@ def main(argv: list[str] | None = None) -> int:
         help="benchmark the sweep engine (serial vs parallel vs "
              "warm-cache) instead of the simulator itself",
     )
+    parser.add_argument(
+        "--events", action="store_true",
+        help="benchmark the dense/fast/event engine matrix "
+             "(BENCH_events.json), asserting cycle-exactness and "
+             "recording per-engine speedups",
+    )
     args = parser.parse_args(argv)
 
     if args.sweep:
         return run_sweep_bench(args.output or "BENCH_sweep.json")
+    if args.events:
+        return run_events_bench(args.output or "BENCH_events.json")
     args.output = args.output or "BENCH_sim.json"
 
     runs = {}
     for app in APPS:
-        row = run_once(app, HARP, fast=False)
+        row = run_once(app, HARP)
         del row["ff_jumps"], row["ff_cycles_skipped"]
         runs[app] = row
         print(f"{app}: {row['cycles']} cycles in {row['wall_seconds']:.2f}s "
@@ -202,8 +291,8 @@ def main(argv: list[str] | None = None) -> int:
         for profile, platform in PROFILES.items():
             fast_forward[profile] = {}
             for app in APPS:
-                dense = run_once(app, platform, fast=False)
-                fast = run_once(app, platform, fast=True)
+                dense = run_once(app, platform)
+                fast = run_once(app, platform, engine="fast")
                 if fast["cycles"] != dense["cycles"]:
                     print(f"FAIL {app} [{profile}]: fast-forward diverged "
                           f"({fast['cycles']} != {dense['cycles']} cycles)",

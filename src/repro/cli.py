@@ -143,6 +143,22 @@ def _build_fault_plan(spec, config: SimConfig, seed: int,
     )
 
 
+def _engine_from_args(args: argparse.Namespace) -> str:
+    """Resolve the simulation engine: --engine wins, --fast is an alias."""
+    engine = getattr(args, "engine", None)
+    if engine:
+        return engine
+    return "fast" if getattr(args, "fast", False) else "dense"
+
+
+def _add_engine_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=("dense", "fast", "event"),
+                        default=None,
+                        help="simulation engine: dense (tick everything), "
+                             "fast (scan-based idle skipping), event "
+                             "(priority-queue wake-ups) — all cycle-exact")
+
+
 def _store_from_args(args: argparse.Namespace) -> RunStore | None:
     """The run store this invocation appends to (None = ``--no-store``)."""
     if getattr(args, "no_store", False):
@@ -297,7 +313,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     obs = Observability() if (args.trace_out or args.metrics_out
                               or store is not None) else None
     platform = EVAL_HARP.scaled(args.bandwidth)
-    config = SimConfig(prefetch=args.prefetch, fast_forward=args.fast)
+    config = SimConfig(prefetch=args.prefetch,
+                       engine=_engine_from_args(args))
     check_interval = (
         args.check_interval
         if args.check_interval is not None
@@ -353,8 +370,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
           f"squash {result.squash_fraction * 100:.1f}%, "
           f"cache hit {result.memory_hit_rate * 100:.0f}%, "
           f"{result.memory_bytes} bytes over QPI — VERIFIED")
-    if args.fast:
-        print(f"fast-forward: {result.ff_jumps} jumps skipped "
+    if config.engine != "dense":
+        print(f"{config.engine} engine: {result.ff_jumps} jumps skipped "
               f"{result.ff_cycles_skipped} idle cycles "
               f"({result.ff_cycles_skipped / max(1, result.cycles) * 100:.1f}%"
               " of total)")
@@ -393,7 +410,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
     store = _store_from_args(args)
     obs = Observability(trace_capacity=args.trace_capacity)
     platform = EVAL_HARP.scaled(args.bandwidth)
-    config = SimConfig(fast_forward=args.fast)
+    config = SimConfig(engine=_engine_from_args(args))
     sim = AcceleratorSim(spec, platform=platform, config=config, obs=obs)
     wall_start = time.perf_counter()
     result = sim.run()
@@ -550,14 +567,15 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     exported = {}
     sweep_pending = None
     apps = tuple(args.apps) if args.apps else None
+    engine = getattr(args, "engine", None)
     if kind == "table1":
-        result = experiments.run_table1()
+        result = experiments.run_table1(engine=engine)
         print(reporting.format_table1(result))
         exported["table1"] = result
     elif kind == "figure9":
         runner = _runner_from_args(args)
         result = experiments.run_figure9(
-            scale=args.scale, runner=runner,
+            scale=args.scale, runner=runner, engine=engine,
             **({"apps": apps} if apps else {}),
         )
         print(reporting.format_figure9(result))
@@ -568,7 +586,7 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     elif kind == "figure10":
         runner = _runner_from_args(args)
         result = experiments.run_figure10(
-            scale=args.scale, runner=runner,
+            scale=args.scale, runner=runner, engine=engine,
             **({"apps": apps} if apps else {}),
         )
         print(reporting.format_figure10(result))
@@ -728,12 +746,12 @@ def cmd_cache(args: argparse.Namespace) -> int:
         return 1
 
 
-def _observed_record(app: str, bandwidth: float, fast: bool):
+def _observed_record(app: str, bandwidth: float, engine: str = "dense"):
     """Run ``app`` once with full observability; return (spec, record)."""
     spec = _default_spec(app)
     obs = Observability()
     platform = EVAL_HARP.scaled(bandwidth)
-    config = SimConfig(fast_forward=fast)
+    config = SimConfig(engine=engine)
     sim = AcceleratorSim(spec, platform=platform, config=config, obs=obs)
     wall_start = time.perf_counter()
     result = sim.run()
@@ -759,7 +777,8 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
             print(f"error: {_error_line(exc)}", file=sys.stderr)
             return 1
     elif args.app is not None:
-        _, record = _observed_record(args.app, args.bandwidth, args.fast)
+        _, record = _observed_record(args.app, args.bandwidth,
+                                     _engine_from_args(args))
         store = _store_from_args(args)
         if store is not None:
             record = store.append(record)
@@ -779,7 +798,8 @@ def cmd_dashboard(args: argparse.Namespace) -> int:
     store = RunStore(args.store)
     history = store.records()
     if args.app is not None:
-        _, record = _observed_record(args.app, args.bandwidth, args.fast)
+        _, record = _observed_record(args.app, args.bandwidth,
+                                     _engine_from_args(args))
         if not args.no_store:
             record = store.append(record)
             history.append(record)
@@ -940,8 +960,8 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--prefetch", action="store_true",
                           help="enable next-line prefetch (extension)")
     simulate.add_argument("--fast", action="store_true",
-                          help="idle-cycle-skipping fast-forward core "
-                               "(cycle-exact; see docs/simulator.md)")
+                          help="alias for --engine fast")
+    _add_engine_option(simulate)
     simulate.add_argument("--trace", action="store_true",
                           help="print an ASCII schedule timeline")
     simulate.add_argument("--trace-cycles", type=int, default=2000)
@@ -974,8 +994,8 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--bandwidth", type=float, default=1.0,
                          help="QPI bandwidth multiplier (Figure 10 knob)")
     profile.add_argument("--fast", action="store_true",
-                         help="idle-cycle-skipping fast-forward core "
-                              "(identical accounting, less wall clock)")
+                         help="alias for --engine fast")
+    _add_engine_option(profile)
     profile.add_argument("--top", type=int, default=16,
                          help="rows to print (most-stalled first)")
     profile.add_argument("--trace-capacity", type=int, default=65536,
@@ -1015,6 +1035,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--apps", nargs="+", metavar="APP",
                             help="restrict figure9/figure10 to these "
                                  "benchmarks (default: all six)")
+    _add_engine_option(experiment)
     _add_sweep_options(experiment)
     experiment.add_argument("--json", help="also export results to JSON")
     _add_store_options(experiment)
@@ -1075,7 +1096,9 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--run", metavar="REF",
                           help="diagnose a stored run instead")
     diagnose.add_argument("--bandwidth", type=float, default=1.0)
-    diagnose.add_argument("--fast", action="store_true")
+    diagnose.add_argument("--fast", action="store_true",
+                          help="alias for --engine fast")
+    _add_engine_option(diagnose)
     _add_store_options(diagnose)
     diagnose.set_defaults(handler=cmd_diagnose)
 
@@ -1088,7 +1111,9 @@ def build_parser() -> argparse.ArgumentParser:
     dashboard.add_argument("--out", default="dashboard.html",
                            metavar="FILE")
     dashboard.add_argument("--bandwidth", type=float, default=1.0)
-    dashboard.add_argument("--fast", action="store_true")
+    dashboard.add_argument("--fast", action="store_true",
+                           help="alias for --engine fast")
+    _add_engine_option(dashboard)
     _add_store_options(dashboard)
     dashboard.set_defaults(handler=cmd_dashboard)
 

@@ -17,7 +17,7 @@ prints them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.cpu.timing import parallel_seconds, sequential_seconds
 from repro.eval.platforms import EVAL_HARP, EVAL_XEON, HarpPlatform
@@ -35,17 +35,23 @@ def _sweep_job(
     platform: HarpPlatform,
     config: SimConfig | None,
     tag: str,
+    engine: str | None = None,
 ) -> SimJob:
     """One figure-sweep point as a runner job.
 
     Workloads that predate the declarative sources (``source=None``) fall
     back to wrapping their builder — still correct, but uncacheable and
-    executed in-process by the runner.
+    executed in-process by the runner.  ``engine`` overrides the
+    simulation engine while keeping the workload's other knobs (it is
+    digest-relevant, so each engine caches separately).
     """
+    config = config or workload.config
+    if engine is not None:
+        config = replace(config, engine=engine, fast_forward=False)
     return SimJob(
         source=workload.source or CallableSource(workload.build_spec),
         platform=platform,
-        config=config or workload.config,
+        config=config,
         replicas=workload.replicas,
         tag=tag,
     )
@@ -75,6 +81,7 @@ class Table1Result:
 def run_table1(
     width: int = 48, height: int = 6, seed: int = 13,
     config: SimConfig | None = None,
+    engine: str | None = None,
 ) -> Table1Result:
     """Reproduce Table 1 on a high-diameter road network.
 
@@ -88,6 +95,8 @@ def run_table1(
     graph = road_network(width, height, seed=seed)
     model = OpenClBfsModel()
     config = config or SimConfig()
+    if engine is not None:
+        config = replace(config, engine=engine, fast_forward=False)
     spec_result = simulate_app(
         build_app("SPEC-BFS", graph, 0), platform=EVAL_HARP, config=config
     )
@@ -141,12 +150,14 @@ def run_figure9(
     config: SimConfig | None = None,
     workloads: dict[str, Workload] | None = None,
     runner: SweepRunner | None = None,
+    engine: str | None = None,
 ) -> Figure9Result:
     """Reproduce Figure 9: accelerator vs Xeon software counterparts."""
     workloads = workloads or default_workloads(scale)
     runner = runner or SweepRunner()
     jobs = [
-        _sweep_job(workloads[app], EVAL_HARP, config, tag=f"fig9:{app}")
+        _sweep_job(workloads[app], EVAL_HARP, config, tag=f"fig9:{app}",
+                   engine=engine)
         for app in apps
     ]
     outcomes = runner.run(jobs)
@@ -196,6 +207,7 @@ def run_figure10(
     config: SimConfig | None = None,
     workloads: dict[str, Workload] | None = None,
     runner: SweepRunner | None = None,
+    engine: str | None = None,
 ) -> dict[str, Figure10Series]:
     """Reproduce Figure 10: the QPI-bandwidth-scaling emulator sweep.
 
@@ -209,7 +221,7 @@ def run_figure10(
     grid = [(app, factor) for app in apps for factor in bandwidth_scales]
     jobs = [
         _sweep_job(workloads[app], EVAL_HARP.scaled(factor), config,
-                   tag=f"fig10:{app}@{factor:g}x")
+                   tag=f"fig10:{app}@{factor:g}x", engine=engine)
         for app, factor in grid
     ]
     outcomes = runner.run(jobs)

@@ -1,12 +1,18 @@
 """Golden-fixture scenarios: canonical fixed-seed runs for regression.
 
 One golden is a fully deterministic observed run of one application —
-fixed graph seed, fixed platform, default :class:`SimConfig` — reduced
+fixed input seed, fixed platform, default :class:`SimConfig` — reduced
 to a canonical JSON-ready dict: the final cycle count, the full
 :func:`~repro.sim.stats.stats_digest`, and the trace profile (event
 counts per :class:`~repro.obs.events.TraceEventKind`, excluding the
-per-cycle ``STAGE_STALL`` events the fast-forward core deliberately
-elides, so one fixture pins both the dense and the fast execution).
+per-cycle ``STAGE_STALL`` events the skipping engines deliberately
+elide, so one fixture pins the dense, fast-forward, *and* event-engine
+executions alike).
+
+Graph applications are keyed by ``graph`` (nodes/edges/seed fed through
+:func:`random_graph`); host-fed applications (COOR-LU's block-sparse
+matrix, SPEC-DMR's point cloud) are keyed by ``inputs`` — the builder
+kwargs passed straight to :func:`build_app`.
 
 ``scripts/update_goldens.py`` regenerates the fixtures under
 ``tests/golden/`` from these scenarios after an *intentional* behaviour
@@ -24,22 +30,51 @@ from repro.substrates.graphs import random_graph
 
 _PLATFORMS = {"HARP": HARP, "EVAL_HARP": EVAL_HARP}
 
-# name -> (app, nodes, edges, graph seed, platform key, bandwidth scale)
+# name -> scenario: "app", "platform", "scale", and either "graph"
+# (nodes/edges/seed for random_graph) or "inputs" (build_app kwargs).
 SCENARIOS = {
-    "bfs": ("SPEC-BFS", 120, 360, 3, "EVAL_HARP", 0.25),
-    "sssp": ("SPEC-SSSP", 120, 360, 3, "EVAL_HARP", 0.25),
+    "bfs": {
+        "app": "SPEC-BFS",
+        "graph": {"nodes": 120, "edges": 360, "seed": 3},
+        "platform": "EVAL_HARP", "scale": 0.25,
+    },
+    "sssp": {
+        "app": "SPEC-SSSP",
+        "graph": {"nodes": 120, "edges": 360, "seed": 3},
+        "platform": "EVAL_HARP", "scale": 0.25,
+    },
+    "coor_lu": {
+        "app": "COOR-LU",
+        "inputs": {"grid": 6, "block_size": 4, "seed": 5},
+        "platform": "EVAL_HARP", "scale": 0.25,
+    },
+    "dmr": {
+        "app": "SPEC-DMR",
+        "inputs": {"n_points": 60, "seed": 2},
+        "platform": "EVAL_HARP", "scale": 0.25,
+    },
 }
 
 
-def collect(name: str, *, fast: bool = False) -> dict:
+def _build_spec(scenario: dict):
+    if "graph" in scenario:
+        graph = scenario["graph"]
+        return build_app(
+            scenario["app"],
+            random_graph(graph["nodes"], graph["edges"],
+                         seed=graph["seed"]),
+        )
+    return build_app(scenario["app"], **scenario["inputs"])
+
+
+def collect(name: str, *, engine: str = "dense") -> dict:
     """Run one golden scenario and return its canonical dict."""
-    app, nodes, edges, seed, platform_key, scale = SCENARIOS[name]
-    spec = build_app(app, random_graph(nodes, edges, seed=seed))
+    scenario = SCENARIOS[name]
     obs = Observability(trace_capacity=1 << 20)
     sim = AcceleratorSim(
-        spec,
-        platform=_PLATFORMS[platform_key].scaled(scale),
-        config=SimConfig(fast_forward=fast),
+        _build_spec(scenario),
+        platform=_PLATFORMS[scenario["platform"]].scaled(scenario["scale"]),
+        config=SimConfig(engine=engine),
         obs=obs,
     )
     result = sim.run()
@@ -49,13 +84,17 @@ def collect(name: str, *, fast: bool = False) -> dict:
         if event.kind is TraceEventKind.STAGE_STALL:
             continue
         trace[event.kind.value] = trace.get(event.kind.value, 0) + 1
-    return {
+    payload = {
         "scenario": name,
-        "app": app,
-        "graph": {"nodes": nodes, "edges": edges, "seed": seed},
-        "platform": platform_key,
-        "bandwidth_scale": scale,
+        "app": scenario["app"],
+        "platform": scenario["platform"],
+        "bandwidth_scale": scenario["scale"],
         "cycles": result.cycles,
         "stats": stats_digest(result.stats),
         "trace": {kind: trace[kind] for kind in sorted(trace)},
     }
+    if "graph" in scenario:
+        payload["graph"] = dict(scenario["graph"])
+    else:
+        payload["inputs"] = dict(scenario["inputs"])
+    return payload

@@ -25,8 +25,10 @@ cycle-drift      fail      exact cycle count changed within a series /
                            fully deterministic — any drift is a behaviour
                            change, not noise)
 hit-rate         fail      warm-cache sweep hit rate below 1.0
-speedup-floor    fail      fast-forward or parallel-sweep speedup below
-                           ``baseline * (1 - tolerance)``
+speedup-floor    fail      fast-forward, engine-matrix, or parallel-sweep
+                           speedup below ``baseline * (1 - tolerance)``,
+                           or an event-engine speedup below its row's
+                           absolute ``event_floor``
 wall-clock       warn      latest wall clock above the series median by
                            more than ``wall_band`` (needs >=
                            ``min_wall_samples`` records — thin series are
@@ -254,10 +256,13 @@ def regress_bench(
 ) -> list[Regression]:
     """Compare a fresh benchmark document against a committed baseline.
 
-    Understands both ``bench_smoke.py`` shapes: ``--sweep`` documents
-    (``points`` tag->cycles, ``sweep`` serial/parallel/warm_cache) and
-    ``--fast`` documents (``runs`` app->{cycles,...}, ``fast_forward``
-    profile->app->{cycles, speedup}).
+    Understands all three ``bench_smoke.py`` shapes: ``--sweep``
+    documents (``points`` tag->cycles, ``sweep``
+    serial/parallel/warm_cache), ``--fast`` documents (``runs``
+    app->{cycles,...}, ``fast_forward`` profile->app->{cycles,
+    speedup}), and ``--events`` documents (``engines``
+    profile->app->{cycles, fast_speedup, event_speedup}, where rows may
+    carry an absolute ``event_floor``).
     """
     findings: list[Regression] = []
 
@@ -309,6 +314,53 @@ def regress_bench(
             )
             if finding:
                 findings.append(finding)
+
+    # engines: profile -> app -> {"cycles", "fast_speedup",
+    # "event_speedup"[, "event_floor"]}.  Cycles are exact; per-engine
+    # speedups get the relative floor against the baseline, and rows
+    # that declare an absolute "event_floor" (the memory-bound 10x
+    # contract) are additionally gated against it with no tolerance.
+    cur_engines = current.get("engines") or {}
+    for profile, base_apps in sorted(
+        (baseline.get("engines") or {}).items()
+    ):
+        cur_apps = cur_engines.get(profile) or {}
+        for app, base_row in sorted(base_apps.items()):
+            if not isinstance(base_row, dict):
+                continue
+            row = cur_apps.get(app)
+            where = f"engines[{profile}][{app}]"
+            if not isinstance(row, dict):
+                findings.append(Regression(
+                    rule="cycle-drift", where=where, severity="fail",
+                    message="present in baseline, missing from current "
+                            "result",
+                    diagnosis=_CYCLE_DIAGNOSIS,
+                ))
+                continue
+            finding = _cycle_drift(where, base_row.get("cycles"),
+                                   row.get("cycles"))
+            if finding:
+                findings.append(finding)
+            for key, label in (("fast_speedup", "fast-engine speedup"),
+                               ("event_speedup", "event-engine speedup")):
+                finding = _speedup_floor(
+                    where, base_row.get(key), row.get(key),
+                    speedup_tolerance, label,
+                )
+                if finding:
+                    findings.append(finding)
+            floor = base_row.get("event_floor")
+            have = row.get("event_speedup")
+            if (isinstance(floor, (int, float))
+                    and isinstance(have, (int, float)) and have < floor):
+                findings.append(Regression(
+                    rule="speedup-floor", where=where, severity="fail",
+                    message=(f"event-engine speedup {have:.2f}x below "
+                             f"the absolute {floor:.2f}x floor"),
+                    diagnosis=_SPEEDUP_DIAGNOSIS,
+                    current=float(have), baseline=float(floor),
+                ))
 
     # sweep: warm-cache hit rate (exact), parallel speedup (floor),
     # wall clocks (warn-only noise band).

@@ -77,7 +77,7 @@ class RunRecord:
     timestamp: str = ""
     app_mode: str = ""             # speculative | coordinative
     host_fed: bool = False
-    sim_mode: str = "dense"        # dense | fast
+    sim_mode: str = "dense"        # dense | fast | event | sweep
     seed: int | None = None
     wall_seconds: float = 0.0
     platform: dict[str, Any] = field(default_factory=dict)
@@ -147,7 +147,7 @@ def record_from_result(
         app=result.app,
         app_mode=spec.mode,
         host_fed=spec.host_feed is not None,
-        sim_mode="fast" if config.fast_forward else "dense",
+        sim_mode=config.resolved_engine(),
         cycles=result.cycles,
         seconds=result.seconds,
         utilization=result.utilization,
@@ -191,7 +191,7 @@ def record_from_outcome(
         app=outcome.app,
         app_mode=outcome.app_mode,
         host_fed=outcome.host_fed,
-        sim_mode="fast" if config.fast_forward else "dense",
+        sim_mode=config.resolved_engine(),
         cycles=outcome.cycles,
         seconds=outcome.seconds,
         utilization=outcome.utilization,

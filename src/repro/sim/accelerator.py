@@ -24,6 +24,7 @@ from repro.errors import (
 )
 from repro.eval.platforms import HARP, HarpPlatform
 from repro.obs import MetricsRegistry, Observability
+from repro.sim.events import EventScheduler
 from repro.sim.fastpath import FastForwardScheduler
 from repro.sim.faults import FaultPlan
 from repro.sim.host import HostAdapter
@@ -57,13 +58,21 @@ class SimConfig:
     minimum_broadcast_interval: int = 4
     max_cycles: int = 30_000_000
     deadlock_window: int = 200_000
-    # Idle-cycle-skipping fast-forward core (cycle-exact; see
-    # docs/simulator.md and sim/fastpath.py for the legality argument).
+    # Simulation engine: "dense" ticks every component every cycle;
+    # "fast" is the scan-based idle-skipping core (sim/fastpath.py);
+    # "event" is the priority-queue discrete-event core (sim/events.py).
+    # All three are cycle-exact (see docs/simulator.md).
+    engine: str = "dense"
+    # Legacy alias for engine="fast", kept so existing callers and
+    # cached job digests keep working; mutually exclusive with
+    # engine="event".
     fast_forward: bool = False
-    # Minimum-jump hysteresis: a projected skip shorter than this many
-    # cycles is not worth the wake-up probe's overhead, so the fast loop
-    # keeps stepping densely instead.  Cycle counts are unaffected either
-    # way — only which cycles are simulated vs replayed changes.
+    # Minimum-jump hysteresis (fast engine only): a projected skip
+    # shorter than this many cycles is not worth the wake-up scan's
+    # overhead, so the fast loop keeps stepping densely instead.  Cycle
+    # counts are unaffected either way — only which cycles are simulated
+    # vs replayed changes.  The event engine probes in O(1) and ignores
+    # this knob.
     ff_min_jump: int = 8
 
     def __post_init__(self) -> None:
@@ -79,6 +88,22 @@ class SimConfig:
                     f"SimConfig.{name} must be a positive integer, "
                     f"got {value!r}"
                 )
+        if self.engine not in ("dense", "fast", "event"):
+            raise SpecificationError(
+                f"SimConfig.engine must be 'dense', 'fast' or 'event', "
+                f"got {self.engine!r}"
+            )
+        if self.fast_forward and self.engine == "event":
+            raise SpecificationError(
+                "SimConfig.fast_forward conflicts with engine='event'; "
+                "pick one engine"
+            )
+
+    def resolved_engine(self) -> str:
+        """The engine to run: folds the legacy fast_forward alias in."""
+        if self.fast_forward:
+            return "fast"
+        return self.engine
 
 
 @dataclass
@@ -105,6 +130,8 @@ class SimResult:
     # out of SimStats so dense and fast statistics stay bit-identical.
     ff_jumps: int = 0
     ff_cycles_skipped: int = 0
+    # Which engine produced the run: "dense" | "fast" | "event".
+    engine: str = "dense"
 
 
 class AcceleratorSim:
@@ -213,9 +240,16 @@ class AcceleratorSim:
         # Fast-forward: `quiet` is cleared by every state-mutating action
         # inside a cycle; a cycle that ends quiet is provably a repeat.
         self.quiet = True
-        self.ff = (
-            FastForwardScheduler(self) if config.fast_forward else None
-        )
+        # Event-engine wake queue; EventScheduler plants its WakeQueue
+        # here so emit_at and the stages can arm wake-ups at issue time.
+        self.wakes = None
+        self.engine = config.resolved_engine()
+        if self.engine == "event":
+            self.ff = EventScheduler(self)
+        elif self.engine == "fast":
+            self.ff = FastForwardScheduler(self)
+        else:
+            self.ff = None
 
     # -- services stages call ---------------------------------------------------
 
@@ -420,6 +454,7 @@ class AcceleratorSim:
             ff_cycles_skipped=(
                 self.ff.cycles_skipped if self.ff is not None else 0
             ),
+            engine=self.engine,
         )
 
 

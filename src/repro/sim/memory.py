@@ -134,6 +134,10 @@ class MemorySystem:
         self.stats = MemoryStats()
         self._outstanding: dict[int, _Request] = {}
         self._next_id = 0
+        # Event-engine wake queue (a sim.events.WakeQueue); when attached,
+        # every tracked transfer arms its completion cycle at issue time
+        # so the scheduler never has to scan ``_outstanding``.
+        self.wakes = None
 
     # -- issue ---------------------------------------------------------------
 
@@ -141,6 +145,8 @@ class MemorySystem:
         req_id = self._next_id
         self._next_id += 1
         self._outstanding[req_id] = _Request(done_at, nbytes)
+        if self.wakes is not None:
+            self.wakes.arm(done_at, ("mem", req_id))
         return req_id
 
     def issue_load(self, now: int, addr: int, nbytes: int = 8) -> int:
@@ -208,6 +214,8 @@ class MemorySystem:
             raise SimulationError(
                 f"retire of unknown memory request {req_id}"
             )
+        if self.wakes is not None:
+            self.wakes.cancel(("mem", req_id))
         if self.obs is not None:
             self.obs.mem_complete()
 

@@ -539,7 +539,12 @@ class CallStage(Stage):
                 ctx.memory.issue_stream(ctx.cycle, traffic)
                 if traffic > 0 else None
             )
-            self.in_flight.append((token, ctx.cycle + latency, stream_req))
+            done_at = ctx.cycle + latency
+            if ctx.wakes is not None:
+                # Event engine: the latency timer is the one stage-private
+                # clock, so its expiry is armed at issue.
+                ctx.wakes.arm(done_at)
+            self.in_flight.append((token, done_at, stream_req))
         elif self.input.visible:
             self._stall(StallReason.MEMORY)
 

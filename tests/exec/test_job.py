@@ -42,6 +42,7 @@ class TestDigest:
         ("station_depth", 4),
         ("queue_banks", 8),
         ("fast_forward", True),
+        ("engine", "event"),
         ("ff_min_jump", 2),
         ("max_cycles", 123_456),
         ("minimum_broadcast_interval", 5),

@@ -1,9 +1,15 @@
-"""Cross-engine integration: all four execution engines, one answer.
+"""Cross-engine integration: all five execution engines, one answer.
 
 Definition 4.3's correctness criterion, checked directly: the sequential
 interpreter, the step-based aggressive runtime, the OS-thread futures
-runtime, and the cycle-level accelerator must produce byte-identical final
-state for applications with deterministic answers.
+runtime, and the cycle-level accelerator (dense and event-engine) must
+produce byte-identical final state for applications with deterministic
+answers.
+
+Each test builds its graph fresh: a module-level shared graph would let
+one engine's run mutate state another engine then consumes (graphs are
+plain mutable adjacency structures), turning an engine bug into
+cross-test contamination instead of a clean failure.
 """
 
 import numpy as np
@@ -16,7 +22,9 @@ from repro.core.runtime import AggressiveRuntime, SequentialRuntime
 from repro.sim.accelerator import AcceleratorSim, SimConfig
 from repro.substrates.graphs import random_graph
 
-GRAPH = random_graph(70, 200, seed=61)
+
+def _graph():
+    return random_graph(70, 200, seed=61)
 
 
 def _final_array(engine: str, spec_builder, region: str) -> np.ndarray:
@@ -33,27 +41,29 @@ def _final_array(engine: str, spec_builder, region: str) -> np.ndarray:
         runtime = FuturesRuntime(spec, threads=5)
         runtime.run()
         return np.array(runtime.state.region(region).storage)
-    sim = AcceleratorSim(spec, config=SimConfig())
+    sim_engine = "event" if engine == "accelerator-event" else "dense"
+    sim = AcceleratorSim(spec, config=SimConfig(engine=sim_engine))
     sim.run()
     return np.array(sim.state.region(region).storage)
 
 
-ENGINES = ("sequential", "aggressive", "threads", "accelerator")
+ENGINES = ("sequential", "aggressive", "threads", "accelerator",
+           "accelerator-event")
 
 
 @pytest.mark.parametrize("engine", ENGINES[1:])
 def test_bfs_levels_identical_across_engines(engine):
-    reference = _final_array("sequential", lambda: spec_bfs(GRAPH, 0),
+    reference = _final_array("sequential", lambda: spec_bfs(_graph(), 0),
                              "level")
-    other = _final_array(engine, lambda: spec_bfs(GRAPH, 0), "level")
+    other = _final_array(engine, lambda: spec_bfs(_graph(), 0), "level")
     assert np.array_equal(reference, other)
 
 
 @pytest.mark.parametrize("engine", ENGINES[1:])
 def test_sssp_distances_identical_across_engines(engine):
-    reference = _final_array("sequential", lambda: spec_sssp(GRAPH, 0),
+    reference = _final_array("sequential", lambda: spec_sssp(_graph(), 0),
                              "dist")
-    other = _final_array(engine, lambda: spec_sssp(GRAPH, 0), "dist")
+    other = _final_array(engine, lambda: spec_sssp(_graph(), 0), "dist")
     assert np.array_equal(reference, other)
 
 
@@ -61,16 +71,17 @@ def test_mst_weight_identical_across_engines():
     from repro.apps.mst import spec_mst
     from repro.substrates.graphs.algorithms import kruskal_mst
 
-    _, expected = kruskal_mst(GRAPH)
+    _, expected = kruskal_mst(_graph())
 
     def weight_of(run):
         return run.state.object("mst")["weight"]
 
-    seq = SequentialRuntime(spec_mst(GRAPH))
+    seq = SequentialRuntime(spec_mst(_graph()))
     seq.run()
-    agg = AggressiveRuntime(spec_mst(GRAPH), workers=6)
+    agg = AggressiveRuntime(spec_mst(_graph()), workers=6)
     agg.run()
-    sim = AcceleratorSim(spec_mst(GRAPH), config=SimConfig())
+    sim = AcceleratorSim(spec_mst(_graph()),
+                         config=SimConfig(engine="event"))
     sim.run()
     assert weight_of(seq) == expected
     assert weight_of(agg) == expected

@@ -1,19 +1,20 @@
-"""Differential harness: the fast-forward core must be cycle-exact.
+"""Differential harness: every engine must be cycle-exact vs dense.
 
-Every test here runs the same workload twice — once densely (the
-reference interpreter, every cycle stepped) and once with
-``SimConfig(fast_forward=True)`` — and asserts the two executions are
-indistinguishable: identical final cycle counts, identical
-:func:`~repro.sim.stats.stats_digest`, identical metrics-registry
-snapshots, identical event-trace *schedules*, and identical
-stall-attribution accounting (every row summing exactly to the total
-cycle count).
+Every test here runs the same workload through the full engine matrix —
+once densely (the reference interpreter, every cycle stepped), once
+with the scan-based fast-forward core (``engine="fast"``), and once
+with the priority-queue event engine (``engine="event"``) — and asserts
+the executions are indistinguishable: identical final cycle counts,
+identical :func:`~repro.sim.stats.stats_digest`, identical
+metrics-registry snapshots, identical event-trace *schedules*, and
+identical stall-attribution accounting (every row summing exactly to
+the total cycle count).
 
 The one deliberate divergence is per-cycle ``STAGE_STALL`` trace events:
-the fast core folds a skipped quiescent span into the profiler via
-``credit_skipped_stalls`` instead of emitting one event per cycle, so
-trace comparison filters stall events out and compares everything else
-(fires, queue traffic, rule-engine lifecycle, memory events,
+both skipping engines fold a skipped quiescent span into the profiler
+via ``credit_skipped_stalls`` instead of emitting one event per cycle,
+so trace comparison filters stall events out and compares everything
+else (fires, queue traffic, rule-engine lifecycle, memory events,
 checkpoints, rollbacks) verbatim.
 
 A small smoke subset runs with the tier-1 suite; the full seeded matrix
@@ -37,6 +38,9 @@ from repro.sim.faults import FaultEvent, FaultKind, FaultPlan
 from repro.sim.stats import stats_digest
 from repro.substrates.graphs import random_graph
 
+# The non-reference engines; dense is the oracle they are diffed against.
+SKIPPING_ENGINES = ("fast", "event")
+
 
 # -- helpers ----------------------------------------------------------------
 
@@ -48,7 +52,7 @@ def _spec(app: str, nodes: int = 120, edges: int = 360, seed: int = 3):
 def _run(
     app: str,
     *,
-    fast: bool,
+    engine: str,
     platform=HARP,
     config_kwargs: dict | None = None,
     fault_seed: int | None = None,
@@ -58,7 +62,7 @@ def _run(
 ):
     """One observed run; returns (SimResult, Observability, stage names)."""
     spec = _spec(app, nodes, edges, graph_seed)
-    config = SimConfig(fast_forward=fast, **(config_kwargs or {}))
+    config = SimConfig(engine=engine, **(config_kwargs or {}))
     faults = None
     check_interval = None
     if fault_seed is not None:
@@ -90,37 +94,49 @@ def _schedule(obs: Observability) -> list[tuple]:
     ]
 
 
-def _assert_equivalent(app: str, dense, fast) -> None:
-    """Full-depth equivalence between one dense and one fast execution."""
+def _assert_equivalent(label: str, dense, other) -> None:
+    """Full-depth equivalence between a dense and a skipping execution."""
     dense_result, dense_obs, stages = dense
-    fast_result, fast_obs, fast_stages = fast
-    assert fast_stages == stages
+    other_result, other_obs, other_stages = other
+    assert other_stages == stages
 
-    assert fast_result.cycles == dense_result.cycles, (
-        f"{app}: fast run finished at cycle {fast_result.cycles}, "
+    assert other_result.cycles == dense_result.cycles, (
+        f"{label}: run finished at cycle {other_result.cycles}, "
         f"dense at {dense_result.cycles}"
     )
 
     dense_digest = stats_digest(dense_result.stats)
-    fast_digest = stats_digest(fast_result.stats)
+    other_digest = stats_digest(other_result.stats)
     for key in dense_digest:
-        assert fast_digest[key] == dense_digest[key], (
-            f"{app}: stats field {key!r} diverged: "
-            f"fast={fast_digest[key]!r} dense={dense_digest[key]!r}"
+        assert other_digest[key] == dense_digest[key], (
+            f"{label}: stats field {key!r} diverged: "
+            f"got={other_digest[key]!r} dense={dense_digest[key]!r}"
         )
 
-    assert fast_obs.registry.snapshot() == dense_obs.registry.snapshot()
-    assert _schedule(fast_obs) == _schedule(dense_obs)
+    assert other_obs.registry.snapshot() == dense_obs.registry.snapshot()
+    assert _schedule(other_obs) == _schedule(dense_obs)
 
     total = dense_result.cycles
     dense_acct = dense_obs.profiler.accounting(stages, total)
-    fast_acct = fast_obs.profiler.accounting(stages, total)
+    other_acct = other_obs.profiler.accounting(stages, total)
     for stage in stages:
-        assert fast_acct[stage] == dense_acct[stage], (
-            f"{app}: stall accounting diverged for stage {stage!r}"
+        assert other_acct[stage] == dense_acct[stage], (
+            f"{label}: stall accounting diverged for stage {stage!r}"
         )
-        row = fast_acct[stage]
+        row = other_acct[stage]
         assert sum(v for k, v in row.items() if k != "total") == total
+
+
+def _three_way(app: str, label: str, **kwargs) -> dict:
+    """Run dense + both skipping engines, assert full equivalence, and
+    return the runs keyed by engine for extra per-test assertions."""
+    runs = {
+        engine: _run(app, engine=engine, **kwargs)
+        for engine in ("dense",) + SKIPPING_ENGINES
+    }
+    for engine in SKIPPING_ENGINES:
+        _assert_equivalent(f"{label}[{engine}]", runs["dense"], runs[engine])
+    return runs
 
 
 # -- tier-1 smoke subset ----------------------------------------------------
@@ -128,33 +144,35 @@ def _assert_equivalent(app: str, dense, fast) -> None:
 
 @pytest.mark.parametrize("app", ["SPEC-BFS", "SPEC-SSSP", "SPEC-CC"])
 def test_memory_bound_runs_are_cycle_exact(app: str) -> None:
-    """The headline case: a bandwidth-starved run is mostly idle, so the
-    fast core skips aggressively — and must still match to the cycle."""
-    platform = EVAL_HARP.scaled(0.05)
-    dense = _run(app, fast=False, platform=platform)
-    fast = _run(app, fast=True, platform=platform)
-    _assert_equivalent(app, dense, fast)
-    # The point of the exercise: the fast run actually skipped cycles.
-    assert fast[0].ff_jumps > 0
-    assert fast[0].ff_cycles_skipped > 0
+    """The headline case: a bandwidth-starved run is mostly idle, so both
+    skipping engines skip aggressively — and must still match to the
+    cycle."""
+    runs = _three_way(app, app, platform=EVAL_HARP.scaled(0.05))
+    # The point of the exercise: both skipping engines actually skipped.
+    for engine in SKIPPING_ENGINES:
+        assert runs[engine][0].ff_jumps > 0, engine
+        assert runs[engine][0].ff_cycles_skipped > 0, engine
+    # The event engine drops the minimum-jump hysteresis, so it never
+    # skips fewer cycles than the scan-based core here.
+    assert (runs["event"][0].ff_cycles_skipped
+            >= runs["fast"][0].ff_cycles_skipped)
 
 
 @pytest.mark.parametrize("app", ["SPEC-BFS", "SPEC-SSSP"])
 def test_fault_injection_is_cycle_exact(app: str) -> None:
     """Fault boundaries, invariant sweeps, and degraded resources are all
-    wake-up sources; a seeded mixed-mode plan must not break exactness."""
-    dense = _run(app, fast=False, platform=EVAL_HARP, fault_seed=11)
-    fast = _run(app, fast=True, platform=EVAL_HARP, fault_seed=11)
-    _assert_equivalent(app, dense, fast)
+    wake-up sources; a seeded mixed-mode plan must not break exactness
+    on any engine."""
+    _three_way(app, app, platform=EVAL_HARP, fault_seed=11)
 
 
 def test_rollback_recovery_is_cycle_exact() -> None:
     """Force a rollback (total lane outage -> liveness trip) and require
-    the resilient driver's full trajectory to match: failure cycles,
-    error strings, attempts, rollbacks, and final stats."""
-    def resilient(fast: bool):
+    the resilient driver's full trajectory to match on every engine:
+    failure cycles, error strings, attempts, rollbacks, final stats."""
+    def resilient(engine: str):
         spec = _spec("SPEC-BFS", 200, 600, 7)
-        config = SimConfig(fast_forward=fast, deadlock_window=3000)
+        config = SimConfig(engine=engine, deadlock_window=3000)
         faults = FaultPlan([
             FaultEvent(FaultKind.LANE_FAIL, 400, duration=1 << 30,
                        magnitude=config.rule_lanes),
@@ -164,21 +182,22 @@ def test_rollback_recovery_is_cycle_exact() -> None:
             faults=faults, check_interval=256, checkpoint_interval=1000,
         )
 
-    dense = resilient(False)
-    fast = resilient(True)
+    dense = resilient("dense")
     assert dense.rollbacks >= 1, "fault plan failed to force a rollback"
-    assert fast.result.cycles == dense.result.cycles
-    assert fast.attempts == dense.attempts
-    assert fast.rollbacks == dense.rollbacks
-    assert [f.cycle for f in fast.failures] == [
-        f.cycle for f in dense.failures
-    ]
-    assert [f.error for f in fast.failures] == [
-        f.error for f in dense.failures
-    ]
-    assert stats_digest(fast.result.stats) == stats_digest(
-        dense.result.stats
-    )
+    for engine in SKIPPING_ENGINES:
+        other = resilient(engine)
+        assert other.result.cycles == dense.result.cycles, engine
+        assert other.attempts == dense.attempts, engine
+        assert other.rollbacks == dense.rollbacks, engine
+        assert [f.cycle for f in other.failures] == [
+            f.cycle for f in dense.failures
+        ], engine
+        assert [f.error for f in other.failures] == [
+            f.error for f in dense.failures
+        ], engine
+        assert stats_digest(other.result.stats) == stats_digest(
+            dense.result.stats
+        ), engine
 
 
 # -- the full seeded matrix (slow) ------------------------------------------
@@ -203,8 +222,5 @@ _MATRIX_CONFIGS = {
 def test_differential_matrix(app: str, cfg: str,
                              fault_seed: int | None) -> None:
     platform, overrides = _MATRIX_CONFIGS[cfg]
-    dense = _run(app, fast=False, platform=platform,
-                 config_kwargs=overrides, fault_seed=fault_seed)
-    fast = _run(app, fast=True, platform=platform,
-                config_kwargs=overrides, fault_seed=fault_seed)
-    _assert_equivalent(f"{app}/{cfg}", dense, fast)
+    _three_way(app, f"{app}/{cfg}", platform=platform,
+               config_kwargs=overrides, fault_seed=fault_seed)

@@ -1,0 +1,153 @@
+"""Property-based tests for the event engine's wake-up queue.
+
+The determinism argument in ``sim/events.py`` rests on the
+:class:`~repro.sim.events.WakeQueue` behaving as a *stable* priority
+queue under arbitrary interleavings of arm / cancel / re-arm; these
+tests check that mechanically over randomized operation scripts:
+
+* **monotone delivery** — wake-ups drain in non-decreasing cycle order;
+* **FIFO tie-break** — same-cycle wake-ups fire in registration order,
+  so the engine's probe order is a pure function of the arm sequence;
+* **cancel / re-arm never loses a wake-up** — after any script, the
+  live set is exactly the model's: every key sits at its last armed
+  cycle (unless cancelled) and every anonymous one-shot survives;
+* **checkpoint round-trip** — ``copy.deepcopy`` (the checkpoint
+  manager's capture primitive) preserves the pending heap exactly,
+  and the copy drains identically to the original.
+
+A model-based sweep drives the real queue and a brute-force dict/list
+model through the same scripts and requires identical delivery
+schedules — the queue's lazy deletion must be unobservable.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.events import NEVER, WakeQueue
+
+SETTINGS = settings(derandomize=True, deadline=None, max_examples=60)
+
+# One queue operation: ("arm", cycle, key) | ("cancel", key).
+# Small key and cycle spaces force collisions — re-arms of a live key,
+# cancels of spent entries, many same-cycle ties.
+_KEYS = st.one_of(st.none(), st.tuples(st.sampled_from(["mem", "fu"]),
+                                       st.integers(0, 5)))
+_ARM = st.tuples(st.just("arm"), st.integers(0, 30), _KEYS)
+_CANCEL = st.tuples(st.just("cancel"), st.just(0),
+                    _KEYS.filter(lambda k: k is not None))
+SCRIPTS = st.lists(st.one_of(_ARM, _CANCEL), max_size=60)
+
+
+class _ModelQueue:
+    """The obvious O(n) reference: a list of live entries."""
+
+    def __init__(self) -> None:
+        self.entries: list[tuple[int, int, object]] = []
+        self.seq = 0
+
+    def arm(self, cycle: int, key=None) -> None:
+        if key is not None:
+            self.entries = [e for e in self.entries if e[2] != key]
+        self.entries.append((cycle, self.seq, key))
+        self.seq += 1
+
+    def cancel(self, key) -> None:
+        self.entries = [e for e in self.entries if e[2] != key]
+
+    def pending(self) -> list[tuple[int, int, object]]:
+        return sorted(self.entries)
+
+    def pop_due(self, now: int) -> list[tuple[int, object]]:
+        due = sorted(e for e in self.entries if e[0] <= now)
+        self.entries = [e for e in self.entries if e[0] > now]
+        return [(cycle, key) for cycle, _seq, key in due]
+
+    def next_after(self, now: int) -> int:
+        live = [e[0] for e in self.entries if e[0] > now]
+        self.entries = [e for e in self.entries if e[0] > now]
+        return min(live) if live else NEVER
+
+
+def _apply(queue, script) -> None:
+    for op, cycle, key in script:
+        if op == "arm":
+            queue.arm(cycle, key)
+        else:
+            queue.cancel(key)
+
+
+@given(script=SCRIPTS)
+@SETTINGS
+def test_delivery_is_monotone_and_fifo(script) -> None:
+    """Draining the queue cycle by cycle yields non-decreasing cycles,
+    with same-cycle entries in registration order."""
+    queue = WakeQueue()
+    _apply(queue, script)
+    expected = [(cycle, key) for cycle, _seq, key in queue.pending()]
+    fired: list[tuple[int, object]] = []
+    for now in range(32):
+        fired.extend(queue.pop_due(now))
+    # Monotone non-decreasing delivery order...
+    assert [c for c, _ in fired] == sorted(c for c, _ in fired)
+    # ...and exactly the live set, in (cycle, registration) order.
+    assert fired == expected
+    assert len(queue) == 0
+    assert queue.next_after(-1) == NEVER
+
+
+@given(script=SCRIPTS)
+@SETTINGS
+def test_cancel_rearm_matches_brute_force_model(script) -> None:
+    """The lazy-deletion queue is observationally identical to the
+    brute-force model: no wake-up is ever lost or resurrected."""
+    queue, model = WakeQueue(), _ModelQueue()
+    _apply(queue, script)
+    _apply(model, script)
+    assert queue.pending() == model.pending()
+    assert len(queue) == len(model.pending())
+    # Interleave probes and drains the way the scheduler does.
+    for now in (5, 12, 25):
+        assert queue.pop_due(now) == model.pop_due(now)
+        assert queue.next_after(now) == model.next_after(now)
+    assert queue.pending() == model.pending()
+
+
+@given(script=SCRIPTS, now=st.integers(-1, 31))
+@SETTINGS
+def test_next_after_is_earliest_live_wakeup(script, now: int) -> None:
+    """``next_after`` returns the earliest live cycle strictly after
+    ``now`` (NEVER when none), never a cancelled or superseded entry."""
+    queue = WakeQueue()
+    _apply(queue, script)
+    live = [cycle for cycle, _seq, _key in queue.pending() if cycle > now]
+    assert queue.next_after(now) == (min(live) if live else NEVER)
+
+
+@given(script=SCRIPTS, split=st.integers(0, 30))
+@SETTINGS
+def test_checkpoint_roundtrip_preserves_pending_heap(script,
+                                                     split: int) -> None:
+    """``copy.deepcopy`` — how CheckpointManager captures the machine —
+    must preserve the pending heap exactly, and the restored queue must
+    drain identically even as both sides keep mutating."""
+    queue = WakeQueue()
+    _apply(queue, script)
+    snapshot = copy.deepcopy(queue)
+    assert snapshot.pending() == queue.pending()
+    assert len(snapshot) == len(queue)
+
+    # Drain both sides identically; the copy must shadow the original.
+    assert snapshot.pop_due(split) == queue.pop_due(split)
+    assert snapshot.pending() == queue.pending()
+
+    # Divergence after the snapshot stays private to each side: spending
+    # the original's entries must not disturb the copy (no shared heap).
+    rollback = copy.deepcopy(queue)
+    before = rollback.pending()
+    queue.pop_due(64)
+    queue.arm(7, ("mem", 0))
+    assert rollback.pending() == before

@@ -1,10 +1,11 @@
 """Golden-trace regression: fixed-seed runs must reproduce exactly.
 
 Each fixture in ``tests/golden/`` pins one scenario's final cycle count,
-full stats digest, and (stall-filtered) trace profile.  Both the dense
-and the fast-forward execution are checked against the *same* fixture,
-so this suite doubles as a standing cycle-exactness pin for the
-fast-forward core.
+full stats digest, and (stall-filtered) trace profile.  Every engine —
+dense, scan-based fast-forward, and the priority-queue event engine —
+is checked against the *same* fixture, so this suite doubles as a
+standing cycle-exactness pin for both skipping engines, across graph
+(BFS/SSSP) and host-fed (COOR-LU/DMR) applications.
 
 On an intentional timing/statistics change, regenerate the fixtures via
 ``python scripts/update_goldens.py`` and commit the JSON diff.
@@ -31,21 +32,20 @@ def _load(name: str) -> dict:
     return json.loads(path.read_text(encoding="utf-8"))
 
 
-@pytest.mark.parametrize("fast", [False, True], ids=["dense", "fast"])
+@pytest.mark.parametrize("engine", ["dense", "fast", "event"])
 @pytest.mark.parametrize("name", sorted(SCENARIOS))
-def test_golden_run_matches_fixture(name: str, fast: bool) -> None:
+def test_golden_run_matches_fixture(name: str, engine: str) -> None:
     expected = _load(name)
-    actual = collect(name, fast=fast)
-    mode = "fast" if fast else "dense"
+    actual = collect(name, engine=engine)
     assert actual["cycles"] == expected["cycles"], (
-        f"golden {name!r} ({mode}) cycle count drifted: "
+        f"golden {name!r} ({engine}) cycle count drifted: "
         f"{actual['cycles']} != {expected['cycles']}; {REGEN}"
     )
     for section in ("stats", "trace"):
         assert actual[section] == expected[section], (
-            f"golden {name!r} ({mode}) {section} drifted; {REGEN}"
+            f"golden {name!r} ({engine}) {section} drifted; {REGEN}"
         )
-    assert actual == expected, f"golden {name!r} ({mode}) drifted; {REGEN}"
+    assert actual == expected, f"golden {name!r} ({engine}) drifted; {REGEN}"
 
 
 def test_fixtures_cover_every_scenario() -> None:
