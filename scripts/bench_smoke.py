@@ -31,6 +31,13 @@ on two profiles, writing ``BENCH_events.json`` (or ``--output``).  All
 three engines must finish at the same cycle, and the memory-bound rows
 carry the absolute 10x event-engine speedup floor that
 ``repro regress --bench`` / ``scripts/bench_check.py`` enforce.
+
+``--ledger`` adds the token-provenance zero-cost check: each app runs
+once without a :class:`~repro.sim.ledger.TokenLedger` and once with one
+attached.  Both runs must finish at the *same* cycle (recording is
+observation, never behaviour; mismatch exits non-zero), and the
+recorded ``overhead`` — the on/off wall-clock ratio — is what
+``repro regress --bench`` warn-gates against the committed baseline.
 """
 
 from __future__ import annotations
@@ -85,10 +92,15 @@ def build_spec(app: str):
         else build_app(app, graph)
 
 
-def run_once(app: str, platform, *, engine: str = "dense") -> dict:
+def run_once(app: str, platform, *, engine: str = "dense",
+             with_ledger: bool = False) -> dict:
+    ledger = None
+    if with_ledger:
+        from repro.sim.ledger import TokenLedger
+        ledger = TokenLedger()
     sim = AcceleratorSim(
         build_spec(app), platform=platform,
-        config=SimConfig(engine=engine),
+        config=SimConfig(engine=engine), ledger=ledger,
     )
     started = time.perf_counter()
     result = sim.run()
@@ -259,6 +271,12 @@ def main(argv: list[str] | None = None) -> int:
              "warm-cache) instead of the simulator itself",
     )
     parser.add_argument(
+        "--ledger", action="store_true",
+        help="also run each app with a TokenLedger attached and assert "
+             "the zero-cost contract (identical cycles, recorded "
+             "on/off wall overhead)",
+    )
+    parser.add_argument(
         "--events", action="store_true",
         help="benchmark the dense/fast/event engine matrix "
              "(BENCH_events.json), asserting cycle-exactness and "
@@ -313,6 +331,32 @@ def main(argv: list[str] | None = None) -> int:
                       f"{fast['ff_cycles_skipped']} cycles skipped) "
                       f"— CYCLE-EXACT")
         payload["fast_forward"] = fast_forward
+
+    if args.ledger:
+        ledger_doc: dict = {}
+        for app in APPS:
+            off = run_once(app, HARP)
+            on = run_once(app, HARP, with_ledger=True)
+            if on["cycles"] != off["cycles"]:
+                print(f"FAIL {app} [ledger]: recording perturbed the "
+                      f"simulation ({on['cycles']} != {off['cycles']} "
+                      f"cycles)", file=sys.stderr)
+                return 1
+            for row in (off, on):
+                del row["ff_jumps"], row["ff_cycles_skipped"]
+            overhead = (round(on["wall_seconds"] / off["wall_seconds"], 3)
+                        if off["wall_seconds"] else 0.0)
+            ledger_doc[app] = {
+                "cycles": off["cycles"],
+                "off": off,
+                "on": on,
+                "overhead": overhead,
+            }
+            print(f"{app} [ledger]: {off['cycles']} cycles — off "
+                  f"{off['wall_seconds']:.2f}s vs on "
+                  f"{on['wall_seconds']:.2f}s ({overhead:.2f}x overhead) "
+                  f"— CYCLE-EXACT")
+        payload["ledger"] = ledger_doc
 
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

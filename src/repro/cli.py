@@ -16,6 +16,11 @@ Commands
 ``cache``       inspect and maintain the sweep result cache
                 (stats / verify / compact / prune)
 ``diagnose``    rank a run's bottlenecks from its stored telemetry
+                (``--json`` for machine-readable findings)
+``critpath``    per-token provenance: extract the measured critical
+                path, its bucket decomposition, and what-if projections
+                (``--json``; ``--trace-out`` adds the chain as a
+                Perfetto flow-arrow track)
 ``dashboard``   write the self-contained HTML telemetry dashboard
 ``sweep-status``status of the running (or crashed) sweep in a store
 ``regress``     rule-based regression detection over the run store
@@ -767,7 +772,11 @@ def _observed_record(app: str, bandwidth: float, engine: str = "dense"):
 
 def cmd_diagnose(args: argparse.Namespace) -> int:
     """Classify a run's bottleneck from its stored (or fresh) telemetry."""
-    from repro.obs.diagnose import diagnose_record, format_findings
+    from repro.obs.diagnose import (
+        cross_check,
+        diagnose_record,
+        format_findings,
+    )
 
     if args.run is not None:
         store = RunStore(args.store)
@@ -786,7 +795,105 @@ def cmd_diagnose(args: argparse.Namespace) -> int:
         print("error: give an APP to simulate or --run REF to diagnose "
               "a stored run", file=sys.stderr)
         return 1
-    print(format_findings(record, diagnose_record(record)))
+    findings = diagnose_record(record)
+    check = (cross_check(findings, record.critical_path)
+             if record.critical_path is not None else None)
+    if getattr(args, "json", False):
+        payload = {
+            "app": record.app,
+            "run_id": record.run_id,
+            "cycles": record.cycles,
+            "bandwidth_scale": record.platform.get("bandwidth_scale", 1.0),
+            "utilization": round(record.utilization, 6),
+            "findings": [finding.to_dict() for finding in findings],
+            "critical_path_cross_check": check,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    print(format_findings(record, findings))
+    if check is not None:
+        print(f"  critical-path cross-check: {check['note']}")
+    return 0
+
+
+def cmd_critpath(args: argparse.Namespace) -> int:
+    """Extract the measured critical path of a freshly simulated run.
+
+    Runs the app with a :class:`~repro.sim.ledger.TokenLedger` attached,
+    walks the per-token provenance record backwards from the last
+    retirement (see :mod:`repro.obs.critpath`), and prints the bucket
+    decomposition — which sums exactly to the cycle count — plus the
+    what-if speedup bounds.  ``--json`` emits the stored summary block
+    (engine-invariant: dense/fast/event produce byte-identical output);
+    ``--trace-out`` writes the run's Chrome trace with the chain
+    appended as a Perfetto flow-arrow track.  The bottleneck
+    classifier's verdict is always cross-checked against the path's
+    dominant bucket.
+    """
+    from repro.obs.critpath import (
+        critpath_trace_events,
+        extract_critical_path,
+        format_critpath,
+        result_saturation,
+        summary_block,
+    )
+    from repro.obs.diagnose import cross_check, diagnose_record
+    from repro.sim.ledger import TokenLedger
+
+    spec = _default_spec(args.app)
+    store = _store_from_args(args)
+    # Telemetry is always on here: the cross-check needs the stall
+    # record, and this is an analysis command — nobody times it.
+    obs = Observability()
+    platform = EVAL_HARP.scaled(args.bandwidth)
+    config = SimConfig(engine=_engine_from_args(args))
+    sim = AcceleratorSim(spec, platform=platform, config=config, obs=obs,
+                         ledger=TokenLedger())
+    wall_start = time.perf_counter()
+    result = sim.run()
+    wall_seconds = time.perf_counter() - wall_start
+    critpath = extract_critical_path(
+        result.ledger, result.cycles,
+        rule_lanes=config.rule_lanes,
+        top_segments=args.top,
+        saturation=result_saturation(result, platform),
+    )
+    summary = summary_block(critpath)
+
+    stage_names = [
+        stage.name for pipeline in sim.pipelines
+        for stage in pipeline.stages
+    ]
+    record = record_from_result(
+        "critpath", spec, result, platform=platform, config=config,
+        stage_names=stage_names, wall_seconds=wall_seconds,
+        critical_path=summary,
+    )
+    check = cross_check(diagnose_record(record), summary)
+
+    # Confirmations go to stderr in --json mode so stdout stays one
+    # parseable document (and is byte-identical across engines).
+    aside = sys.stderr if args.json else sys.stdout
+    if args.json:
+        payload = dict(summary)
+        payload["app"] = spec.name
+        payload["diagnose_cross_check"] = check
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(format_critpath(summary, app=spec.name))
+        if check is not None:
+            print()
+            print(f"  diagnose cross-check: {check['note']}")
+    if args.trace_out:
+        doc = obs.tracer.chrome_trace()
+        doc["traceEvents"].extend(critpath_trace_events(critpath))
+        with open(args.trace_out, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, indent=None, separators=(",", ":"))
+        print(f"wrote {args.trace_out} ({len(doc['traceEvents'])} events, "
+              f"{summary['path_segments']} path segments)", file=aside)
+    if store is not None:
+        record = store.append(record)
+        print(f"stored run {record.run_id} -> {store.path}", file=aside)
     return 0
 
 
@@ -1098,9 +1205,38 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--bandwidth", type=float, default=1.0)
     diagnose.add_argument("--fast", action="store_true",
                           help="alias for --engine fast")
+    diagnose.add_argument("--json", action="store_true",
+                          help="emit the ranked findings (and the "
+                               "critical-path cross-check, when the "
+                               "record has one) as JSON")
     _add_engine_option(diagnose)
     _add_store_options(diagnose)
     diagnose.set_defaults(handler=cmd_diagnose)
+
+    critpath = sub.add_parser(
+        "critpath", help="extract the measured critical path of a run "
+                         "(per-token provenance walk; bucket "
+                         "decomposition + what-if speedup bounds)")
+    critpath.add_argument("app",
+                          help="simulate this app with a TokenLedger "
+                               "attached")
+    critpath.add_argument("--bandwidth", type=float, default=1.0,
+                          help="QPI bandwidth multiplier (Figure 10 "
+                               "knob)")
+    critpath.add_argument("--fast", action="store_true",
+                          help="alias for --engine fast")
+    _add_engine_option(critpath)
+    critpath.add_argument("--top", type=int, default=12,
+                          help="longest segments to print (default 12)")
+    critpath.add_argument("--json", action="store_true",
+                          help="emit the summary block as JSON "
+                               "(byte-identical across engines)")
+    critpath.add_argument("--trace-out", metavar="FILE",
+                          help="write the Chrome trace with the "
+                               "critical path as a flow-arrow track "
+                               "(open in Perfetto)")
+    _add_store_options(critpath)
+    critpath.set_defaults(handler=cmd_critpath)
 
     dashboard = sub.add_parser(
         "dashboard", help="write the self-contained HTML dashboard")

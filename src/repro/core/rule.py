@@ -116,6 +116,11 @@ class RuleInstance:
     satisfied: set[str] = field(default_factory=set)
     value: bool | None = None
     verdict: RuleVerdict = RuleVerdict.PENDING
+    # Decision provenance, stamped by the simulator only when a
+    # TokenLedger is attached: the cycle the promise resolved and the uid
+    # of the token whose event decided it (-1 for otherwise/immediate).
+    decided_cycle: int = -1
+    decided_by: int = -1
 
     @property
     def returned(self) -> bool:

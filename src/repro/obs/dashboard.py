@@ -56,6 +56,18 @@ BUCKET_COLORS = {
     "idle": NEUTRAL,
 }
 
+# Critical-path buckets: shared buckets keep their stall colors, the
+# path-only buckets (compute / host / speculation) extend the palette.
+CRITPATH_COLORS = {
+    "compute": PALETTE[0],
+    "queue": PALETTE[1],
+    "memory": PALETTE[2],
+    "rule": PALETTE[3],
+    "backpressure": PALETTE[4],
+    "host": PALETTE[5],
+    "speculation": PALETTE[7],
+}
+
 # Severity → status step (never reused for data series) + text label.
 _STATUS = (
     (0.75, "#d03b3b", "critical"),
@@ -180,6 +192,75 @@ def _stall_table(rows, buckets) -> str:
         '<details><summary>table view</summary><table>'
         f"<tr><th>stage</th>{head}</tr>{''.join(body)}</table></details>"
     )
+
+
+def _critpath_section(record: RunRecord) -> str:
+    """The measured critical path: one stacked bar over ``[0, cycles]``,
+    the what-if projection table, and the longest segments."""
+    critpath = record.critical_path
+    if not critpath:
+        return ('<p class="sub">run was stored without a token ledger — '
+                'simulate with <code>repro critpath APP</code> to '
+                'extract the path</p>')
+    total = critpath.get("total_cycles", 0) or 1
+    buckets = critpath.get("buckets", {})
+    order = [b for b in CRITPATH_COLORS if buckets.get(b, 0)]
+    w, bar_h = 760, 18
+    parts = [
+        f'<svg viewBox="0 0 {w} {bar_h + 20}" width="{w}" role="img" '
+        'aria-label="critical path bucket decomposition">'
+    ]
+    x = 0.0
+    for bucket in order:
+        cycles = buckets[bucket]
+        width = cycles / total * w
+        parts.append(
+            f'<rect x="{x:.1f}" y="0" width="{max(width - 2, 0.5):.1f}" '
+            f'height="{bar_h}" rx="2" fill="{CRITPATH_COLORS[bucket]}">'
+            f'<title>{bucket}: {cycles} cycles '
+            f'({cycles / total * 100:.1f}%)</title></rect>'
+        )
+        x += width
+    parts.append(
+        f'<text x="0" y="{bar_h + 14}">cycle 0</text>'
+        f'<text x="{w}" y="{bar_h + 14}" text-anchor="end">'
+        f'cycle {total}</text></svg>'
+    )
+    legend = _legend((b, CRITPATH_COLORS[b]) for b in order)
+    waste = critpath.get("wasted_speculation", {})
+    headline = (
+        f'<p class="sub">dominant bucket <strong>'
+        f'{_esc(critpath.get("dominant", "?"))}</strong> · '
+        f'{critpath.get("path_tokens", 0)} tokens, '
+        f'{critpath.get("path_segments", 0)} segments on the path · '
+        f'{waste.get("tokens", 0)} doomed tokens '
+        f'({waste.get("cycles", 0)} token-cycles) off it</p>'
+    )
+    what_if = critpath.get("what_if", {})
+    projections = "<table><tr><th>what-if</th>" \
+        '<th class="num">saves &le;</th><th class="num">speedup &le;' \
+        "</th></tr>" + "".join(
+            f"<tr><td>{_esc(name)}</td>"
+            f'<td class="num">{proj.get("saved_cycles", 0)}</td>'
+            f'<td class="num">{proj.get("speedup_bound", 1.0):.3f}x'
+            "</td></tr>"
+            for name, proj in sorted(what_if.items())
+        ) + "</table>"
+    segments = critpath.get("segments", [])
+    seg_rows = "".join(
+        f'<tr><td class="num">{s.get("cycles", 0)}</td>'
+        f'<td class="num">[{s.get("start", 0)}, {s.get("end", 0)})</td>'
+        f'<td>{_esc(s.get("bucket", "?"))}</td>'
+        f'<td>{_esc(s.get("detail", ""))}</td></tr>'
+        for s in segments
+    )
+    seg_table = (
+        '<details><summary>longest segments</summary><table>'
+        '<tr><th class="num">cycles</th><th class="num">span</th>'
+        f"<th>bucket</th><th>detail</th></tr>{seg_rows}</table></details>"
+        if segments else ""
+    )
+    return headline + legend + "".join(parts) + projections + seg_table
 
 
 def _line_points(
@@ -569,6 +650,7 @@ def render_dashboard(
         sections = [
             ("Diagnosis", _findings_section(findings or [])),
             ("Stall attribution", _stall_waterfall(record)),
+            ("Critical path", _critpath_section(record)),
             ("Pipeline utilization", _utilization_timeline(record)),
             ("Bandwidth sweep (Figure 10)", _bandwidth_sweep(history)),
             ("Metrics", _metrics_tables(record)),

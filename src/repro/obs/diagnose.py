@@ -305,6 +305,53 @@ def diagnose_record(record: RunRecord) -> list[Finding]:
     return findings
 
 
+# Which critical-path buckets corroborate each classifier code.  The
+# classifiers see aggregate stage-share signals; the critical path sees
+# the one causal chain that set the cycle count — when they disagree the
+# aggregate picture is misleading (e.g. stalls everywhere off the path).
+EXPECTED_DOMINANT: dict[str, tuple[str, ...]] = {
+    "memory-bound": ("memory",),
+    "qpi-bandwidth-bound": ("memory", "host"),
+    "rule-lane-bound": ("rule",),
+    "queue-backpressure": ("queue", "backpressure"),
+    "squash-bound": ("speculation",),
+    "host-launch-bound": ("host", "queue"),
+}
+
+
+def cross_check(findings: list[Finding],
+                critpath: dict[str, Any]) -> dict[str, Any] | None:
+    """Compare the top classifier against the measured critical path.
+
+    Returns None when there is nothing to check (no findings, or a
+    critpath without a dominant bucket); otherwise a verdict dict whose
+    ``agrees`` says whether the path's dominant bucket is one the top
+    finding predicts, with a human-readable ``note`` either way.
+    """
+    dominant = (critpath or {}).get("dominant")
+    if not findings or not dominant:
+        return None
+    top = findings[0]
+    expected = EXPECTED_DOMINANT.get(top.code, ())
+    agrees = dominant in expected
+    if agrees:
+        note = (f"classifier '{top.code}' and the critical path agree: "
+                f"the dominant bucket is '{dominant}'")
+    else:
+        note = (f"classifier '{top.code}' predicts "
+                f"{' or '.join(repr(e) for e in expected) or 'nothing'} "
+                f"dominant, but the measured path is bound by "
+                f"'{dominant}' — the aggregate stall picture disagrees "
+                "with the causal chain; trust the path")
+    return {
+        "classifier": top.code,
+        "expected": list(expected),
+        "dominant": dominant,
+        "agrees": agrees,
+        "note": note,
+    }
+
+
 def format_findings(record: RunRecord, findings: list[Finding]) -> str:
     """The ``repro diagnose`` rendering."""
     head = (

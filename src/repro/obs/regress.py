@@ -36,7 +36,17 @@ wall-clock       warn      latest wall clock above the series median by
 points-per-sec   warn      sweep throughput below baseline by more than
                            the band (wall-clock rules warn, never fail:
                            they are host-dependent)
+critpath-shift   warn      the dominant critical-path bucket changed
+                           between the two latest ledgered runs of a
+                           series — the bottleneck regime moved even if
+                           the cycle count did not
 ===============  ========  ==================================================
+
+``regress_bench`` additionally understands the ``ledger`` section of
+``BENCH_*.json`` (zero-cost contract): ledger-off cycles must match the
+baseline exactly, ledger-on must finish at the same cycle as ledger-off
+(both fail), and the ledger-off wall clock / recording overhead get the
+usual warn-only noise band.
 """
 
 from __future__ import annotations
@@ -64,6 +74,18 @@ _WALL_DIAGNOSIS = (
     "wall clock is host-dependent, so this is a warning: check the "
     "fleet page (worker timeline, lock contention, cache economics) "
     "to see where the time went."
+)
+_CRITPATH_DIAGNOSIS = (
+    "the dominant critical-path bucket moved between runs of the same "
+    "configuration: the bottleneck regime changed even if the cycle "
+    "count did not. Compare the chains with `repro runs diff` or "
+    "`repro critpath APP --json`."
+)
+_LEDGER_DIAGNOSIS = (
+    "a disabled TokenLedger must be zero-cost: ledger-off cycles must "
+    "match the committed baseline exactly, and ledger-on runs must "
+    "finish at the same cycle. Any drift means the provenance hooks "
+    "leaked into simulated behaviour."
 )
 
 
@@ -159,6 +181,21 @@ def regress_store(
                 current=float(latest.cycles),
                 baseline=float(prior[-1].cycles),
             ))
+        paths = [r for r in runs
+                 if getattr(r, "critical_path", None) is not None]
+        if len(paths) >= 2:
+            want = paths[-2].critical_path.get("dominant", "?")
+            have = paths[-1].critical_path.get("dominant", "?")
+            if want != have:
+                findings.append(Regression(
+                    rule="critpath-shift",
+                    where=where,
+                    severity="warn",
+                    message=(f"dominant critical-path bucket {want} -> "
+                             f"{have} between runs "
+                             f"{paths[-2].run_id} and {paths[-1].run_id}"),
+                    diagnosis=_CRITPATH_DIAGNOSIS,
+                ))
         walls = [r.wall_seconds for r in prior if r.wall_seconds > 0]
         if (len(walls) + 1 >= min_wall_samples and walls
                 and latest.wall_seconds > 0):
@@ -361,6 +398,72 @@ def regress_bench(
                     diagnosis=_SPEEDUP_DIAGNOSIS,
                     current=float(have), baseline=float(floor),
                 ))
+
+    # ledger: app -> {"cycles", "off": {...}, "on": {...}, "overhead"}.
+    # The zero-cost contract: ledger-off cycles match the baseline
+    # exactly AND ledger-on finishes at the same cycle (both fail);
+    # ledger-off wall clock and recording overhead are warn-band gated
+    # like every other host-dependent number.
+    cur_ledger = current.get("ledger") or {}
+    for app, base_row in sorted((baseline.get("ledger") or {}).items()):
+        if not isinstance(base_row, dict):
+            continue
+        row = cur_ledger.get(app)
+        where = f"ledger[{app}]"
+        if not isinstance(row, dict):
+            findings.append(Regression(
+                rule="cycle-drift", where=where, severity="fail",
+                message="present in baseline, missing from current "
+                        "result",
+                diagnosis=_LEDGER_DIAGNOSIS,
+            ))
+            continue
+        finding = _cycle_drift(where, base_row.get("cycles"),
+                               row.get("cycles"))
+        if finding:
+            finding.diagnosis = _LEDGER_DIAGNOSIS
+            findings.append(finding)
+        on_cycles = (row.get("on") or {}).get("cycles")
+        off_cycles = (row.get("off") or {}).get("cycles")
+        if (isinstance(on_cycles, int) and isinstance(off_cycles, int)
+                and on_cycles != off_cycles):
+            findings.append(Regression(
+                rule="cycle-drift", where=f"{where}/on-vs-off",
+                severity="fail",
+                message=(f"ledger-on run finished at {on_cycles} cycles "
+                         f"vs {off_cycles} ledger-off — recording "
+                         "perturbed the simulation"),
+                diagnosis=_LEDGER_DIAGNOSIS,
+                current=float(on_cycles), baseline=float(off_cycles),
+            ))
+        want_wall = (base_row.get("off") or {}).get("wall_seconds")
+        have_wall = (row.get("off") or {}).get("wall_seconds")
+        if (isinstance(want_wall, (int, float)) and want_wall > 0
+                and isinstance(have_wall, (int, float))
+                and have_wall > want_wall * (1 + wall_band)):
+            findings.append(Regression(
+                rule="wall-clock", where=f"{where}/off",
+                severity="warn",
+                message=(f"ledger-off wall {have_wall:.2f}s vs baseline "
+                         f"{want_wall:.2f}s (> {wall_band:.0%} band) — "
+                         "the disabled ledger should cost nothing"),
+                diagnosis=_WALL_DIAGNOSIS,
+                current=float(have_wall), baseline=float(want_wall),
+            ))
+        want_over = base_row.get("overhead")
+        have_over = row.get("overhead")
+        if (isinstance(want_over, (int, float)) and want_over > 0
+                and isinstance(have_over, (int, float))
+                and have_over > want_over * (1 + wall_band)):
+            findings.append(Regression(
+                rule="wall-clock", where=f"{where}/overhead",
+                severity="warn",
+                message=(f"ledger recording overhead {have_over:.2f}x vs "
+                         f"baseline {want_over:.2f}x "
+                         f"(> {wall_band:.0%} band)"),
+                diagnosis=_WALL_DIAGNOSIS,
+                current=float(have_over), baseline=float(want_over),
+            ))
 
     # sweep: warm-cache hit rate (exact), parallel speedup (floor),
     # wall clocks (warn-only noise band).

@@ -87,6 +87,10 @@ class RunRecord:
     metrics: dict[str, Any] | None = None
     stalls: dict[str, dict[str, int]] | None = None
     timeline: dict[str, Any] | None = None
+    # Critical-path summary (obs/critpath.summary_block) when the run
+    # carried a TokenLedger: bucket decomposition, dominant bucket,
+    # top segments, what-if projections.  None for unledgered runs.
+    critical_path: dict[str, Any] | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     # -- derived views used by diff/diagnose/dashboard -----------------------
@@ -134,14 +138,32 @@ def record_from_result(
     seed: int | None = None,
     verified: bool = True,
     wall_seconds: float = 0.0,
+    critical_path: dict[str, Any] | None = None,
     extra: dict[str, Any] | None = None,
 ) -> RunRecord:
-    """Reduce a :class:`~repro.sim.accelerator.SimResult` to a record."""
+    """Reduce a :class:`~repro.sim.accelerator.SimResult` to a record.
+
+    ``critical_path`` takes an :func:`repro.obs.critpath.summary_block`;
+    when omitted but the result carries a ledger, the summary is
+    extracted here so every ledgered run stores its bottleneck chain.
+    """
     obs = result.obs
     stalls = timeline = None
     if obs is not None and stage_names is not None:
         stalls = obs.profiler.accounting(list(stage_names), result.cycles)
         timeline = obs.timeline.to_dict(result.stats.total_stages)
+    if critical_path is None and getattr(result, "ledger", None) is not None:
+        from repro.obs.critpath import (
+            extract_critical_path,
+            result_saturation,
+            summary_block,
+        )
+
+        critical_path = summary_block(extract_critical_path(
+            result.ledger, result.cycles,
+            rule_lanes=getattr(config, "rule_lanes", 32),
+            saturation=result_saturation(result, platform),
+        ))
     return RunRecord(
         kind=kind,
         app=result.app,
@@ -166,6 +188,7 @@ def record_from_result(
         metrics=result.metrics.snapshot() if result.metrics else None,
         stalls=stalls,
         timeline=timeline,
+        critical_path=critical_path,
         extra=extra or {},
     )
 
@@ -446,6 +469,23 @@ def diff_records(a: RunRecord, b: RunRecord) -> dict[str, Any]:
             ((s, d) for s, d in movers.items() if d),
             key=lambda item: -abs(item[1]),
         )[:10])
+    if a.critical_path is not None and b.critical_path is not None:
+        cp_a, cp_b = a.critical_path, b.critical_path
+        buckets_a = cp_a.get("buckets", {})
+        buckets_b = cp_b.get("buckets", {})
+        diff["critical_path"] = {
+            "dominant": {"a": cp_a.get("dominant", "?"),
+                         "b": cp_b.get("dominant", "?")},
+            "buckets": {
+                bucket: {
+                    "a": buckets_a.get(bucket, 0),
+                    "b": buckets_b.get(bucket, 0),
+                    "delta": (buckets_b.get(bucket, 0)
+                              - buckets_a.get(bucket, 0)),
+                }
+                for bucket in {**buckets_a, **buckets_b}
+            },
+        }
     counters_a = (a.metrics or {}).get("counters", {})
     counters_b = (b.metrics or {}).get("counters", {})
     if counters_a and counters_b:
@@ -536,6 +576,13 @@ def format_record(record: RunRecord) -> str:
         totals = record.stall_totals()
         cells = "  ".join(f"{k}={v}" for k, v in totals.items())
         lines.append(f"  stall buckets (cycles x stages): {cells}")
+    if record.critical_path is not None:
+        buckets = record.critical_path.get("buckets", {})
+        cells = "  ".join(f"{k}={v}" for k, v in buckets.items() if v)
+        lines.append(
+            f"  critical path (dominant "
+            f"{record.critical_path.get('dominant', '?')}): {cells}"
+        )
     if record.extra:
         lines.append("  extra: "
                      + json.dumps(record.extra, sort_keys=True)[:200])
@@ -561,6 +608,20 @@ def format_diff(diff: dict[str, Any]) -> str:
                 f"    {bucket:14s} {cells['a']:>10d} -> {cells['b']:>10d} "
                 f"({cells['delta']:+d})"
             )
+    critpath = diff.get("critical_path")
+    if critpath:
+        dominant = critpath["dominant"]
+        shift = (" (BOTTLENECK SHIFTED)"
+                 if dominant["a"] != dominant["b"] else "")
+        lines.append(f"  critical path: dominant {dominant['a']} -> "
+                     f"{dominant['b']}{shift}")
+        for bucket, cells in sorted(critpath["buckets"].items(),
+                                    key=lambda kv: -abs(kv[1]["delta"])):
+            if cells["delta"]:
+                lines.append(
+                    f"    {bucket:14s} {cells['a']:>10d} -> "
+                    f"{cells['b']:>10d} ({cells['delta']:+d})"
+                )
     movers = diff.get("stage_movers")
     if movers:
         lines.append("  top stage movers (stalled cycles):")

@@ -9,6 +9,7 @@ utilization, squash rates and memory statistics.
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -29,6 +30,7 @@ from repro.sim.fastpath import FastForwardScheduler
 from repro.sim.faults import FaultPlan
 from repro.sim.host import HostAdapter
 from repro.sim.invariants import DEFAULT_CHECK_INTERVAL, InvariantChecker
+from repro.sim.ledger import TokenLedger
 from repro.sim.live import LiveIndexTracker
 from repro.sim.memory import MemorySystem
 from repro.sim.pipeline import PipelineInstance
@@ -132,6 +134,9 @@ class SimResult:
     ff_cycles_skipped: int = 0
     # Which engine produced the run: "dense" | "fast" | "event".
     engine: str = "dense"
+    # Per-token provenance record (None unless a TokenLedger was
+    # attached); obs/critpath.py turns it into a critical path.
+    ledger: TokenLedger | None = None
 
 
 class AcceleratorSim:
@@ -148,6 +153,7 @@ class AcceleratorSim:
         faults: FaultPlan | None = None,
         check_interval: int | None = None,
         obs: Observability | None = None,
+        ledger: TokenLedger | None = None,
     ) -> None:
         self.spec = spec
         self.platform = platform
@@ -155,6 +161,11 @@ class AcceleratorSim:
         self.tracer = tracer
         self.faults = faults
         self.obs = obs
+        self.ledger = ledger
+        # Per-instance token uid counter: ledgers/traces/goldens get the
+        # same uids no matter how many sims ran earlier in the process.
+        # itertools.count deep-copies, so a rollback replays identically.
+        self._token_uids = itertools.count()
         # Hot-path counters live in a metrics registry; when an
         # Observability bundle is attached its registry is used directly
         # so traces and metrics describe the same run.
@@ -166,7 +177,7 @@ class AcceleratorSim:
         self.minter = spec.make_loop_nest()
         self.tracker = LiveIndexTracker()
         self.memory = MemorySystem(platform, prefetch=config.prefetch,
-                                   faults=faults, obs=obs)
+                                   faults=faults, obs=obs, ledger=ledger)
         self.active_stages_this_cycle = 0
         # Robustness machinery: an invariant sanitizer (None = disabled)
         # and a checkpoint manager attached by run_resilient.
@@ -193,7 +204,7 @@ class AcceleratorSim:
                 pop_policy=(
                     "priority" if name in spec.priority_fields else "fifo"
                 ),
-                faults=faults, obs=obs,
+                faults=faults, obs=obs, ledger=ledger,
             )
             for name in spec.task_sets
         }
@@ -207,7 +218,7 @@ class AcceleratorSim:
         )
         self.engines: dict[str, RuleEngineSim] = {
             name: RuleEngineSim(name, rule_type, config.rule_lanes,
-                                faults=faults, obs=obs)
+                                faults=faults, obs=obs, ledger=ledger)
             for name, rule_type in spec.rules.items()
         }
         self.pipelines: list[PipelineInstance] = []
@@ -253,14 +264,21 @@ class AcceleratorSim:
 
     # -- services stages call ---------------------------------------------------
 
+    def next_token_uid(self) -> int:
+        """Allocate a token uid from this simulation's private counter."""
+        return next(self._token_uids)
+
     def activate(
         self, task_set: str, fields: dict[str, Any],
         parent: TaskIndex | None,
+        cause: str = "seed", cause_uid: int = -1,
     ) -> None:
         """Mint an index, register liveness, enqueue, broadcast ACTIVATE."""
         self.quiet = False
         index = self.minter.mint(task_set, fields, parent)
         handle = self.tracker.register(index)
+        if self.ledger is not None:
+            self.ledger.activate(handle, self.cycle, cause, cause_uid)
         self.queues[task_set].push(index, fields, handle)
         self.counters.tasks_activated.inc()
         self.emit_at(
@@ -273,6 +291,8 @@ class AcceleratorSim:
         """Token leaves the datapath: free liveness and leftover lanes."""
         if outcome == "commit":
             self.counters.commits.inc()
+        if self.ledger is not None:
+            self.ledger.retire(token.uid, self.cycle, outcome)
         for engine, instance in token.lanes:
             engine.release(instance)
         token.lanes.clear()
@@ -324,6 +344,8 @@ class AcceleratorSim:
             # Components without a cycle argument (queues, engines, the
             # retire port) timestamp their events off this.
             self.obs.now = self.cycle
+        if self.ledger is not None:
+            self.ledger.now = self.cycle
         if self.faults is not None:
             self.faults.advance(self.cycle)
         if self.checkpoints is not None:
@@ -455,6 +477,7 @@ class AcceleratorSim:
                 self.ff.cycles_skipped if self.ff is not None else 0
             ),
             engine=self.engine,
+            ledger=self.ledger,
         )
 
 
@@ -465,10 +488,12 @@ def simulate_app(
     replicas: dict[str, int] | None = None,
     verify: bool = True,
     obs: Observability | None = None,
+    ledger: TokenLedger | None = None,
 ) -> SimResult:
     """Convenience wrapper: build, run, verify, report."""
     sim = AcceleratorSim(
-        spec, platform=platform, config=config, replicas=replicas, obs=obs
+        spec, platform=platform, config=config, replicas=replicas, obs=obs,
+        ledger=ledger,
     )
     return sim.run(verify=verify)
 
@@ -523,6 +548,7 @@ def run_resilient(
     degrade: bool = True,
     verify: bool = True,
     obs: Observability | None = None,
+    ledger: TokenLedger | None = None,
 ) -> ResilientResult:
     """Run under checkpoint/rollback recovery.
 
@@ -541,6 +567,7 @@ def run_resilient(
     sim = AcceleratorSim(
         spec, platform=platform, config=config, replicas=replicas,
         faults=faults, check_interval=check_interval, obs=obs,
+        ledger=ledger,
     )
     manager = CheckpointManager(sim, interval=checkpoint_interval)
     sim.checkpoints = manager

@@ -78,6 +78,12 @@ class HostAdapter:
         self._transfer_req = self.ctx.memory.issue_stream(
             self.ctx.cycle, nbytes
         )
+        if self.ctx.ledger is not None:
+            self.ctx.ledger.host_issue(
+                self.ctx.cycle,
+                self.ctx.memory.done_at(self._transfer_req),
+                nbytes,
+            )
         self._update_horizon()
 
     def _update_horizon(self) -> None:
@@ -106,6 +112,8 @@ class HostAdapter:
             if not ctx.memory.ready(ctx.cycle, self._transfer_req):
                 return
             ctx.quiet = False  # silent mutation: batch transfer landed
+            if ctx.ledger is not None:
+                ctx.ledger.mem_take(self._transfer_req)
             ctx.memory.retire(self._transfer_req)
             self._transfer_req = None
         # Inject when every target queue has room for its share.
@@ -115,8 +123,13 @@ class HostAdapter:
         for task_set, count in needed.items():
             if not ctx.queues[task_set].can_push(count):
                 return
+        if ctx.ledger is not None:
+            ctx.ledger.host_inject(self.batches_sent, ctx.cycle)
         for task_set, fields in self._pending:
-            ctx.activate(task_set, dict(fields), parent=None)
+            ctx.activate(
+                task_set, dict(fields), parent=None,
+                cause="host", cause_uid=self.batches_sent,
+            )
         self.batches_sent += 1
         self._pending = None
         self._advance_batch()

@@ -121,10 +121,11 @@ class MemorySystem:
     """
 
     def __init__(self, platform: HarpPlatform, prefetch: bool = False,
-                 faults=None, obs=None) -> None:
+                 faults=None, obs=None, ledger=None) -> None:
         self.platform = platform
         self.prefetch = prefetch
         self.obs = obs  # Observability hooks (None = zero cost)
+        self.ledger = ledger  # TokenLedger causal edges (None = off)
         self.cache = Cache(
             platform.cache_bytes, platform.cache_line_bytes,
             platform.cache_ways,
@@ -171,7 +172,12 @@ class MemorySystem:
         if self.obs is not None:
             self.obs.mem_issue(now, "load", nbytes)
             self.obs.mem_load(now, addr, hit, done - now)
-        return self._track(done, nbytes)
+        req = self._track(done, nbytes)
+        if self.ledger is not None:
+            self.ledger.mem_issue(
+                req, now, done, "mem_hit" if hit else "mem_miss"
+            )
+        return req
 
     def issue_store(self, now: int, addr: int, nbytes: int = 8) -> None:
         """A commit-unit store (write-through, posted — no tracking)."""
@@ -190,10 +196,14 @@ class MemorySystem:
         if self.obs is not None:
             self.obs.mem_issue(now, "stream", nbytes)
         if nbytes <= 0:
-            return self._track(now + 1, 0)
-        done = self.channel.transfer(now, nbytes)
-        self.stats.bytes_transferred += nbytes
-        return self._track(done, nbytes)
+            done = now + 1
+        else:
+            done = self.channel.transfer(now, nbytes)
+            self.stats.bytes_transferred += nbytes
+        req = self._track(done, nbytes)
+        if self.ledger is not None:
+            self.ledger.mem_issue(req, now, done, "mem_stream")
+        return req
 
     # -- completion ------------------------------------------------------------
 

@@ -48,9 +48,14 @@ class SourceStage(Stage):
             env=dict(fields),
             index=index,
             task_set=self.task_set,
+            uid=self.ctx.next_token_uid(),
             live_handle=live_handle,
         )
         token.task_uid = token.uid
+        if self.ctx.ledger is not None:
+            self.ctx.ledger.born(
+                token.uid, self.ctx.cycle, live_handle, self.name
+            )
         self.send(token)
         self.mark_active()
 

@@ -47,12 +47,13 @@ class RuleEngineSim:
     """
 
     def __init__(self, name: str, rule_type: RuleType, lanes: int,
-                 faults=None, obs=None) -> None:
+                 faults=None, obs=None, ledger=None) -> None:
         self.name = name
         self.rule_type = rule_type
         self.max_lanes = lanes
         self.faults = faults
         self.obs = obs  # Observability hooks (None = zero cost)
+        self.ledger = ledger  # TokenLedger decision provenance (None = off)
         self.lanes: dict[int, _Lane] = {}  # keyed by id(instance)
         self.stats = RuleEngineStats()
         # Event-independent broadcast state, hoisted out of deliver():
@@ -138,6 +139,7 @@ class RuleEngineSim:
         if not triggered:
             return
         requires = self._requires
+        ledger = self.ledger
         for _ in range(rounds):
             for lane in self.lanes.values():
                 if lane.owner_uid == source_uid:
@@ -145,6 +147,15 @@ class RuleEngineSim:
                 instance = lane.instance
                 if instance.value is None:
                     instance.observe_triggered(event, triggered, requires)
+                    if (
+                        ledger is not None
+                        and instance.value is not None
+                        and instance.decided_cycle < 0
+                    ):
+                        # The promise just resolved: remember when and
+                        # which token's event decided it.
+                        instance.decided_cycle = ledger.now
+                        instance.decided_by = source_uid
 
     def min_allocated_index(self) -> TaskIndex | None:
         """Minimum parent index over this engine's allocated lanes.
@@ -163,12 +174,18 @@ class RuleEngineSim:
         promise — progress the fast-forward core must not skip over).
         """
         fired = 0
+        ledger = self.ledger
         for lane in self.lanes.values():
             if not lane.awaited or lane.instance.returned:
                 continue
             parent = lane.instance.parent_index
             if min_live is None or not min_live.earlier_than(parent):
                 lane.instance.trigger_otherwise()
+                if ledger is not None and lane.instance.decided_cycle < 0:
+                    # Otherwise is a liveness escape, not a causal answer:
+                    # no deciding token, only the broadcast cycle.
+                    lane.instance.decided_cycle = ledger.now
+                    lane.instance.decided_by = -1
                 fired += 1
         return fired
 

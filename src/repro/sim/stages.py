@@ -76,6 +76,8 @@ class Stage:
             self._stall(StallReason.BACKPRESSURE)
             return
         token = self.input.pop()
+        if self.ctx.ledger is not None:
+            self.ctx.ledger.fire(token.uid, self.ctx.cycle, self.name)
         self.process(token)
         self.mark_active()
 
@@ -184,6 +186,11 @@ class LoadStage(Stage):
                     token.env[op.dst] = ctx.state.load(
                         op.region, op.addr(token.env)
                     )
+                    if ctx.ledger is not None:
+                        ctx.ledger.mem_ready(token.uid, self.name, req)
+                        ctx.ledger.release(
+                            token.uid, ctx.cycle, self.name, "pass"
+                        )
                     ctx.memory.retire(req)
                     self.station.remove(entry)
                     self.send(token)
@@ -195,6 +202,8 @@ class LoadStage(Stage):
             token = self.input.pop()
             op = self.op
             addr = self.ctx.state.address(op.region, op.addr(token.env))
+            if ctx.ledger is not None:
+                ctx.ledger.issue(token.uid, ctx.cycle, self.name)
             req = ctx.memory.issue_load(ctx.cycle, addr)
             self.station.append((token, req))
         elif self.input.visible:
@@ -251,11 +260,14 @@ class SwitchStage(Stage):
         token = self.input.peek()
         op: Guard = self.op
         taken = bool(op.pred(token.env))
+        ledger = self.ctx.ledger
         if taken:
             if not self.can_send():
                 self._stall(StallReason.BACKPRESSURE)
                 return
             self.input.pop()
+            if ledger is not None:
+                ledger.fire(token.uid, self.ctx.cycle, self.name)
             self.send(token)
         else:
             if self.epilogue_entry is not None:
@@ -263,10 +275,14 @@ class SwitchStage(Stage):
                     self._stall(StallReason.BACKPRESSURE)
                     return
                 self.input.pop()
+                if ledger is not None:
+                    ledger.fire(token.uid, self.ctx.cycle, self.name)
                 self.ctx.counters.guard_drops.inc()
                 self.epilogue_entry.push(token)
             else:
                 self.input.pop()
+                if ledger is not None:
+                    ledger.fire(token.uid, self.ctx.cycle, self.name)
                 self.ctx.counters.guard_drops.inc()
                 self.ctx.retire(token, "drop")
         self.mark_active()
@@ -299,15 +315,27 @@ class ExpandStage(Stage):
             if stream_req is not None and \
                     ctx.memory.ready(ctx.cycle, stream_req):
                 ctx.quiet = False  # silent mutation: stream retired
+                if ctx.ledger is not None:
+                    ctx.ledger.mem_ready(token.uid, self.name, stream_req)
                 ctx.memory.retire(stream_req)
                 entry[3] = stream_req = None
             if stream_req is None:
                 if self.can_send():
-                    child = token.fork(items[emitted])
+                    child = token.fork(
+                        items[emitted], uid=ctx.next_token_uid()
+                    )
+                    if ctx.ledger is not None:
+                        ctx.ledger.fork(child.uid, ctx.cycle, token.uid)
                     entry[2] += 1
                     self.send(child)
                     self.mark_active()
                     if entry[2] >= len(items):
+                        if ctx.ledger is not None:
+                            # The parent never retires: its terminal event
+                            # is the release at the last child emission.
+                            ctx.ledger.release(
+                                token.uid, ctx.cycle, self.name, "expand"
+                            )
                         self._inflight.pop(0)
                 else:
                     self._stall(StallReason.BACKPRESSURE)
@@ -317,11 +345,15 @@ class ExpandStage(Stage):
             token = self.input.pop()
             items = list(op.items(token.env, ctx.state))
             if not items:
+                if ctx.ledger is not None:
+                    ctx.ledger.fire(token.uid, ctx.cycle, self.name)
                 ctx.retire(token, "commit")
                 self.mark_active()
                 return
             if len(items) > 1:
                 ctx.tracker.retain(token.live_handle, len(items) - 1)
+            if ctx.ledger is not None:
+                ctx.ledger.issue(token.uid, ctx.cycle, self.name)
             traffic = op.traffic(token.env, ctx.state) if op.traffic else 0
             stream_req = (
                 ctx.memory.issue_stream(ctx.cycle, traffic)
@@ -357,6 +389,8 @@ class AllocRuleStage(Stage):
             return
         self.input.pop()
         token.lanes.append((engine, instance))
+        if self.ctx.ledger is not None:
+            self.ctx.ledger.fire(token.uid, self.ctx.cycle, self.name)
         self.send(token)
         self.mark_active()
 
@@ -402,6 +436,7 @@ class RendezvousStage(Stage):
                 self.station.remove(token)
                 token.lanes.pop(0)
                 engine.release(instance)
+                self._record_verdict(token, instance, "pass")
                 self.send(token)
             else:
                 if self.epilogue_entry is not None and \
@@ -415,8 +450,10 @@ class RendezvousStage(Stage):
                 if ctx.obs is not None:
                     ctx.obs.rule_squash(ctx.cycle, engine.name)
                 if self.epilogue_entry is not None:
+                    self._record_verdict(token, instance, "epilogue")
                     self.epilogue_entry.push(token)
                 else:
+                    self._record_verdict(token, instance, "squash")
                     ctx.retire(token, "squash")
             self.mark_active()
             released = True
@@ -434,14 +471,33 @@ class RendezvousStage(Stage):
                     f"{self.name}: token reached rendezvous with no rule"
                 )
             engine, instance = token.lanes[0]
+            if ctx.ledger is not None:
+                ctx.ledger.issue(token.uid, ctx.cycle, self.name)
             engine.mark_awaited(instance)
             if instance.rule_type.immediate and not instance.returned:
                 # Optimistic speculation: the promise resolves on arrival
                 # with whatever the inspection has accumulated so far.
                 instance.trigger_otherwise()
+                if ctx.ledger is not None and instance.decided_cycle < 0:
+                    instance.decided_cycle = ctx.cycle
+                    instance.decided_by = -1
             self.station.append(token)
         elif self.input.visible:
             self._stall(StallReason.RULE)
+
+    def _record_verdict(self, token, instance, outcome: str) -> None:
+        """Ledger: when/who decided the promise, and how the token left."""
+        ledger = self.ctx.ledger
+        if ledger is None:
+            return
+        decided = instance.decided_cycle
+        if decided < 0:
+            decided = self.ctx.cycle
+        ledger.ready(
+            token.uid, decided, self.name, instance.decided_by,
+            instance.verdict.name.lower(),
+        )
+        ledger.release(token.uid, self.ctx.cycle, self.name, outcome)
 
     def busy(self) -> bool:
         return bool(self.station) or len(self.input) > 0
@@ -468,10 +524,13 @@ class EnqueueStage(Stage):
                 return
             self.input.pop()
             self.ctx.activate(
-                op.task_set, dict(op.fields(token.env)), token.index
+                op.task_set, dict(op.fields(token.env)), token.index,
+                cause="task", cause_uid=token.uid,
             )
         else:
             self.input.pop()
+        if self.ctx.ledger is not None:
+            self.ctx.ledger.fire(token.uid, self.ctx.cycle, self.name)
         self.send(token)
         self.mark_active()
 
@@ -519,6 +578,17 @@ class CallStage(Stage):
                               token.index, dict(token.env)),
                         token.task_uid,
                     )
+                if ctx.ledger is not None:
+                    ready_at = done_at
+                    kind = "fu"
+                    if stream_req is not None:
+                        stream_done = ctx.ledger.mem_take(stream_req)
+                        if stream_done > ready_at:
+                            ready_at = stream_done
+                            kind = "mem_stream"
+                    ctx.ledger.ready(token.uid, ready_at, self.name, -1, kind)
+                    ctx.ledger.release(token.uid, ctx.cycle, self.name,
+                                       "pass")
                 self.in_flight.remove(entry)
                 self.send(token)
                 self.mark_active()
@@ -535,6 +605,8 @@ class CallStage(Stage):
                 token.live_handle = -1
             latency = max(1, _value(op.cycles, token.env))
             traffic = _value(op.traffic, token.env)
+            if ctx.ledger is not None:
+                ctx.ledger.issue(token.uid, ctx.cycle, self.name)
             stream_req = (
                 ctx.memory.issue_stream(ctx.cycle, traffic)
                 if traffic > 0 else None

@@ -29,7 +29,7 @@ class MultiBankTaskQueue:
 
     def __init__(
         self, task_set: str, banks: int = 4, depth_per_bank: int = 1024,
-        pop_policy: str = "fifo", faults=None, obs=None,
+        pop_policy: str = "fifo", faults=None, obs=None, ledger=None,
     ) -> None:
         if banks < 1 or depth_per_bank < 1:
             raise SimulationError("queue needs positive banks and depth")
@@ -38,6 +38,7 @@ class MultiBankTaskQueue:
         self.task_set = task_set
         self.faults = faults
         self.obs = obs  # Observability hooks (None = zero cost)
+        self.ledger = ledger  # TokenLedger grant counting (None = off)
         self.banks: list[deque] = [deque() for _ in range(banks)]
         self.depth_per_bank = depth_per_bank
         self.pop_policy = pop_policy
@@ -113,6 +114,8 @@ class MultiBankTaskQueue:
             self.pops += 1
             if self.obs is not None:
                 self.obs.queue_pop(self.task_set, len(self))
+            if self.ledger is not None:
+                self.ledger.queue_grant(self.task_set)
             return entry
         for offset in range(len(self.banks)):
             slot = (self._pop_wave + offset) % len(self.banks)
@@ -126,6 +129,8 @@ class MultiBankTaskQueue:
                 entry = bank.popleft()
                 if self.obs is not None:
                     self.obs.queue_pop(self.task_set, len(self))
+                if self.ledger is not None:
+                    self.ledger.queue_grant(self.task_set)
                 return entry
         return None
 

@@ -8,6 +8,12 @@ from typing import Any
 
 from repro.core.indexing import TaskIndex
 
+# Process-global fallback counter.  The simulator allocates uids from its
+# own per-instance counter (see ``AcceleratorSim.next_token_uid``) so that
+# token identities in ledgers, traces and goldens are reproducible no
+# matter how many simulations ran earlier in the process; this global
+# remains as a compatibility shim for tokens constructed outside a
+# simulator (tests, ad-hoc tooling) that only need uniqueness.
 _token_ids = itertools.count()
 
 
@@ -29,14 +35,23 @@ class SimToken:
     live_handle: int = -1
     lanes: list = field(default_factory=list)
 
-    def fork(self, updates: dict[str, Any]) -> "SimToken":
-        """A sibling token (Expand): shares task identity and live handle."""
+    def fork(
+        self, updates: dict[str, Any], uid: int | None = None
+    ) -> "SimToken":
+        """A sibling token (Expand): shares task identity and live handle.
+
+        ``uid`` lets the simulator assign the child from its per-instance
+        counter; omitted, the global shim counter is used.
+        """
         env = dict(self.env)
         env.update(updates)
+        if uid is None:
+            uid = next(_token_ids)
         return SimToken(
             env=env,
             index=self.index,
             task_set=self.task_set,
+            uid=uid,
             task_uid=self.task_uid,
             live_handle=self.live_handle,
         )

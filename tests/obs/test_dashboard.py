@@ -65,6 +65,31 @@ class TestSections:
         assert "cycles 4–8: 40.00% utilized" in html
         assert "bucket width 4 cycles" in html
 
+    def test_critpath_panel_renders_bar_whatifs_and_segments(self):
+        html = render_dashboard(full_record(critical_path={
+            "total_cycles": 1000,
+            "dominant": "memory",
+            "path_tokens": 12,
+            "path_segments": 20,
+            "buckets": {"memory": 700, "compute": 200,
+                        "speculation": 100},
+            "wasted_speculation": {"tokens": 3, "cycles": 90},
+            "what_if": {"qpi_latency_x0.5":
+                        {"saved_cycles": 350, "speedup_bound": 1.538}},
+            "segments": [{"start": 0, "end": 700, "cycles": 700,
+                          "bucket": "memory", "token": 5,
+                          "detail": "load wait"}],
+        }))
+        assert "Critical path" in html
+        assert "dominant bucket <strong>memory</strong>" in html
+        assert "<title>memory: 700 cycles (70.0%)</title>" in html
+        assert "qpi_latency_x0.5" in html and "1.538x" in html
+        assert "longest segments" in html and "load wait" in html
+
+    def test_unledgered_record_gets_critpath_placeholder(self):
+        html = render_dashboard(full_record())
+        assert "without a token ledger" in html
+
     def test_missing_telemetry_degrades_to_messages(self):
         html = render_dashboard(make_record(stalls=None, metrics=None))
         assert "without stall attribution" in html

@@ -48,6 +48,14 @@ BENCH = {
         "warm_cache": {"wall_seconds": 0.1, "points_per_sec": 80.0,
                        "hit_rate": 1.0},
     },
+    "ledger": {
+        "SPEC-BFS": {
+            "cycles": 3614,
+            "off": {"cycles": 3614, "wall_seconds": 0.4},
+            "on": {"cycles": 3614, "wall_seconds": 0.5},
+            "overhead": 1.25,
+        },
+    },
 }
 
 
@@ -130,6 +138,77 @@ class TestBenchGates:
                  for f in regress_bench(current, BENCH)}
         assert rules == {"hit-rate": "fail", "speedup-floor": "fail",
                          "points-per-sec": "warn"}
+
+
+class TestLedgerGates:
+    def test_off_cycle_drift_fails(self):
+        current = copy.deepcopy(BENCH)
+        current["ledger"]["SPEC-BFS"]["cycles"] += 1
+        findings = regress_bench(current, BENCH)
+        assert [(f.rule, f.severity) for f in findings] \
+            == [("cycle-drift", "fail")]
+
+    def test_on_vs_off_divergence_fails(self):
+        current = copy.deepcopy(BENCH)
+        current["ledger"]["SPEC-BFS"]["on"]["cycles"] += 3
+        findings = regress_bench(current, BENCH)
+        assert [(f.rule, f.severity) for f in findings] \
+            == [("cycle-drift", "fail")]
+        assert "perturbed" in findings[0].message
+
+    def test_missing_app_fails(self):
+        current = copy.deepcopy(BENCH)
+        del current["ledger"]["SPEC-BFS"]
+        findings = regress_bench(current, BENCH)
+        assert [(f.rule, f.severity) for f in findings] \
+            == [("cycle-drift", "fail")]
+
+    def test_wall_and_overhead_warn_outside_band_only(self):
+        current = copy.deepcopy(BENCH)
+        current["ledger"]["SPEC-BFS"]["off"]["wall_seconds"] = 0.5
+        current["ledger"]["SPEC-BFS"]["overhead"] = 1.5
+        assert regress_bench(current, BENCH) == []  # inside 50% band
+        current["ledger"]["SPEC-BFS"]["off"]["wall_seconds"] = 0.7
+        current["ledger"]["SPEC-BFS"]["overhead"] = 2.0
+        findings = regress_bench(current, BENCH)
+        assert [(f.rule, f.severity) for f in findings] \
+            == [("wall-clock", "warn"), ("wall-clock", "warn")]
+
+
+class TestCritpathShift:
+    def _ledgered(self, run_id, dominant):
+        record = rec(run_id=run_id)
+        record.critical_path = {
+            "dominant": dominant,
+            "buckets": {dominant: record.cycles},
+        }
+        return record
+
+    def test_dominant_shift_warns(self):
+        findings = regress_store([
+            self._ledgered("a", "memory"),
+            self._ledgered("b", "speculation"),
+        ])
+        shifts = [f for f in findings if f.rule == "critpath-shift"]
+        assert len(shifts) == 1
+        assert shifts[0].severity == "warn"
+        assert "memory" in shifts[0].message
+        assert "speculation" in shifts[0].message
+
+    def test_stable_dominant_is_quiet(self):
+        findings = regress_store([
+            self._ledgered("a", "memory"),
+            self._ledgered("b", "memory"),
+        ])
+        assert [f for f in findings if f.rule == "critpath-shift"] == []
+
+    def test_unledgered_runs_are_skipped(self):
+        findings = regress_store([
+            self._ledgered("a", "memory"),
+            rec(run_id="b"),
+            self._ledgered("c", "memory"),
+        ])
+        assert [f for f in findings if f.rule == "critpath-shift"] == []
 
 
 class TestRendering:

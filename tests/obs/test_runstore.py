@@ -194,6 +194,28 @@ class TestDiff:
         text = format_diff(diff)
         assert "+200" in text and "sim.commits" in text
 
+    def test_diff_reports_critical_path_shift(self):
+        a = make_record(run_id="000001")
+        b = make_record(run_id="000002")
+        a.critical_path = {"dominant": "memory",
+                           "buckets": {"memory": 800, "compute": 200}}
+        b.critical_path = {"dominant": "speculation",
+                           "buckets": {"speculation": 700,
+                                       "compute": 300}}
+        diff = diff_records(a, b)
+        critpath = diff["critical_path"]
+        assert critpath["dominant"] == {"a": "memory",
+                                        "b": "speculation"}
+        assert critpath["buckets"]["memory"]["delta"] == -800
+        assert critpath["buckets"]["speculation"]["delta"] == 700
+        text = format_diff(diff)
+        assert "BOTTLENECK SHIFTED" in text
+
+    def test_diff_without_ledgers_has_no_critical_path_block(self):
+        diff = diff_records(make_record(run_id="000001"),
+                            make_record(run_id="000002"))
+        assert "critical_path" not in diff
+
     def test_diff_against_golden_with_mismatched_buckets(self):
         golden = golden_record({
             "app": "SPEC-BFS", "scenario": "bfs", "cycles": 950,
